@@ -1,0 +1,219 @@
+package datalinks_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"datalinks"
+)
+
+func openSys(t *testing.T) (*datalinks.System, *datalinks.FileServer) {
+	t.Helper()
+	sys, err := datalinks.Open(datalinks.Config{
+		Servers:     []datalinks.ServerConfig{{Name: "fs1", OpenWait: 300 * time.Millisecond}},
+		LockTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	fsrv, err := sys.FileServer("fs1")
+	if err != nil {
+		t.Fatalf("file server: %v", err)
+	}
+	return sys, fsrv
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sys, fsrv := openSys(t)
+	if err := fsrv.SeedFile("/docs/a.txt", []byte("hello"), 100); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	sys.MustExec(`CREATE TABLE docs (id INT PRIMARY KEY, name VARCHAR, doc DATALINK MODE RDD RECOVERY YES, doc_size INT)`)
+	if _, err := sys.Exec(`INSERT INTO docs (id, name, doc) VALUES (?, ?, DLVALUE(?))`,
+		1, "a", "dlfs://fs1/docs/a.txt"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Typed query results.
+	rows, err := sys.Query(`SELECT id, name, doc FROM docs`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if rows.Data[0][0].(int64) != 1 || rows.Data[0][1].(string) != "a" {
+		t.Fatalf("row = %+v", rows.Data[0])
+	}
+	link, ok := rows.Data[0][2].(datalinks.Link)
+	if !ok || link.Path != "/docs/a.txt" || link.URL() != "dlfs://fs1/docs/a.txt" {
+		t.Fatalf("link cell = %+v", rows.Data[0][2])
+	}
+	// Token read.
+	url, err := sys.QueryString(`SELECT DLURLCOMPLETE(doc) FROM docs WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("token url: %v", err)
+	}
+	f, err := sys.Session(100).OpenRead(url)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	data, _ := f.ReadAll()
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("read = %q", data)
+	}
+}
+
+func TestPublicAPIUpdateLifecycle(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/docs/b.txt", []byte("v0"), 100)
+	sys.MustExec(`CREATE TABLE docs (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES, doc_size INT)`)
+	sys.MustExec(`INSERT INTO docs (id, doc) VALUES (1, DLVALUE('dlfs://fs1/docs/b.txt'))`)
+
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM docs WHERE id = 1`)
+	sess := sys.Session(100)
+	f, err := sess.OpenWrite(url)
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	if err := f.WriteAll([]byte("version one")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if sz, _ := f.Size(); sz != int64(len("version one")) {
+		t.Fatalf("size = %d", sz)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	fsrv.WaitArchives()
+	if vs := fsrv.Versions("/docs/b.txt"); len(vs) != 2 {
+		t.Fatalf("versions = %v", vs)
+	}
+	rows, _ := sys.Query(`SELECT doc_size FROM docs WHERE id = 1`)
+	if rows.Data[0][0].(int64) != int64(len("version one")) {
+		t.Fatalf("metadata = %v", rows.Data[0][0])
+	}
+	// Abort path.
+	url, _ = sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM docs WHERE id = 1`)
+	f2, err := sess.OpenWrite(url)
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	f2.WriteAll([]byte("garbage"))
+	if err := f2.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	data, _ := fsrv.ReadFile("/docs/b.txt")
+	if string(data) != "version one" {
+		t.Fatalf("after abort = %q", data)
+	}
+}
+
+func TestPublicAPIUserTxn(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/x.txt", []byte("x0"), 100)
+	fsrv.SeedFile("/d/y.txt", []byte("y0"), 100)
+	sys.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES)`)
+	sys.MustExec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/x.txt')), (2, DLVALUE('dlfs://fs1/d/y.txt'))`)
+
+	u := sys.Session(100).BeginUserTxn()
+	u1, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM t WHERE id = 1`)
+	u2, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM t WHERE id = 2`)
+	f1, err := u.OpenWrite(u1)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	f2, err := u.OpenWrite(u2)
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	f1.WriteAll([]byte("x1"))
+	f2.WriteAll([]byte("y1"))
+	if err := u.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	dx, _ := fsrv.ReadFile("/d/x.txt")
+	dy, _ := fsrv.ReadFile("/d/y.txt")
+	if string(dx) != "x1" || string(dy) != "y1" {
+		t.Fatalf("contents = %q, %q", dx, dy)
+	}
+}
+
+func TestPublicAPIRestore(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/f.txt", []byte("v0"), 100)
+	sys.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY YES)`)
+	sys.MustExec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f.txt'))`)
+	s0 := sys.StateID()
+
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM t WHERE id = 1`)
+	f, _ := sys.Session(100).OpenWrite(url)
+	f.WriteAll([]byte("v1"))
+	f.Close()
+	fsrv.WaitArchives()
+
+	if err := sys.RestoreToState(s0); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	data, _ := fsrv.ReadFile("/d/f.txt")
+	if string(data) != "v0" {
+		t.Fatalf("after restore = %q", data)
+	}
+	// The restored system keeps working.
+	rows, err := sys.Query(`SELECT COUNT(*) FROM t`)
+	if err != nil || rows.Data[0][0].(int64) != 1 {
+		t.Fatalf("restored query = %v, %v", rows, err)
+	}
+}
+
+func TestPublicAPICrashRecovery(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/f.txt", []byte("v0"), 100)
+	sys.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES)`)
+	sys.MustExec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f.txt'))`)
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM t WHERE id = 1`)
+	f, err := sys.Session(100).OpenWrite(url)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.WriteAll([]byte("never committed"))
+	rep, err := sys.CrashAndRecoverServer("fs1")
+	if err != nil {
+		t.Fatalf("crash+recover: %v", err)
+	}
+	if len(rep.RestoredFiles) != 1 {
+		t.Fatalf("restored = %v", rep.RestoredFiles)
+	}
+	fsrv2, _ := sys.FileServer("fs1")
+	data, _ := fsrv2.ReadFile("/d/f.txt")
+	if string(data) != "v0" {
+		t.Fatalf("after recovery = %q", data)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	sys, _ := openSys(t)
+	if _, err := sys.FileServer("nope"); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	if _, err := sys.Exec(`INSERT INTO missing VALUES (1)`); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	if _, err := sys.Query(`SELECT`, 1); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+	if _, err := sys.Exec(`CREATE TABLE t (id INT)`, struct{}{}); err == nil ||
+		!strings.Contains(err.Error(), "unsupported argument") {
+		t.Fatalf("bad arg = %v", err)
+	}
+	if _, err := sys.QueryString(`SELECT 1 FROM nothing`); err == nil {
+		t.Fatal("QueryString over missing table accepted")
+	}
+	if _, err := sys.Session(1).OpenRead("not-a-url"); err == nil {
+		t.Fatal("bad url accepted")
+	}
+	var e error = errors.New("x")
+	_ = e
+}

@@ -1,0 +1,70 @@
+// Command dlbench runs the paper-reproduction experiments: every table and
+// figure of "Database Managed External File Update" (ICDE 2001) plus the
+// quantified versions of its design arguments.
+//
+// Usage:
+//
+//	dlbench                 # run every experiment
+//	dlbench -exp E6         # run one experiment
+//	dlbench -list           # list experiments
+//	dlbench -markdown       # render results as markdown (EXPERIMENTS.md body)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datalinks/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "run a single experiment by id (e.g. T1, E6)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		markdown = flag.Bool("markdown", false, "render tables as markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e harness.Experiment) error {
+		if !*markdown {
+			return harness.RunOne(os.Stdout, e)
+		}
+		fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
+		fmt.Printf("*Paper:* %s\n\n", e.Paper)
+		tables, err := e.Run()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			t.Markdown(os.Stdout)
+		}
+		return nil
+	}
+
+	if *exp != "" {
+		e, ok := harness.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dlbench: no experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range harness.All() {
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command dlfmd runs a standalone DataLinks File Manager serving its upcall
+// protocol over TCP — the deployment shape of Figure 1, where DLFM is a
+// user-space daemon on each file server and DLFS reaches it via IPC.
+//
+// The daemon owns an in-memory physical file system seeded from -seed flags
+// and a local archive store. A DLFS configured with upcall.Dial(addr) can
+// mount against it from another process.
+//
+//	dlfmd -addr 127.0.0.1:7707 -name fs1 -seed /data/a.txt=hello -selftest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"datalinks/internal/archive"
+	"datalinks/internal/dlfm"
+	"datalinks/internal/fs"
+	"datalinks/internal/sqlmini"
+	"datalinks/internal/token"
+	"datalinks/internal/upcall"
+)
+
+// standaloneHost is a minimal Host for a DLFM without a database attached:
+// metadata updates commit trivially and every outcome is "committed". Used
+// only by this demo daemon; in a real deployment the DataLinks engine serves
+// this interface.
+type standaloneHost struct{ state uint64 }
+
+func (h *standaloneHost) MetaUpdate(server, path string, size int64, mtime time.Time, sub sqlmini.XRM) (uint64, error) {
+	h.state++
+	id := h.state + 1_000_000
+	if err := sub.PrepareXRM(id); err != nil {
+		_ = sub.AbortXRM(id)
+		return 0, err
+	}
+	if err := sub.CommitXRM(id); err != nil {
+		return 0, err
+	}
+	return h.state, nil
+}
+func (h *standaloneHost) TxnOutcome(uint64) (bool, bool) { return true, true }
+func (h *standaloneHost) StateID() uint64                { return h.state }
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7707", "listen address for the upcall service")
+		name     = flag.String("name", "fs1", "file server name")
+		key      = flag.String("key", "datalinks-shared-secret", "token key shared with the engine")
+		selftest = flag.Bool("selftest", false, "issue a token and validate it over TCP, then exit")
+	)
+	var seeds seedList
+	flag.Var(&seeds, "seed", "seed file as path=content (repeatable)")
+	flag.Parse()
+
+	phys := fs.New()
+	for _, s := range seeds {
+		if err := phys.MkdirAll(parentDir(s.path), fs.Cred{UID: fs.Root}, 0o777); err != nil {
+			fatal(err)
+		}
+		if err := phys.WriteFile(s.path, []byte(s.content)); err != nil {
+			fatal(err)
+		}
+	}
+	srv, err := dlfm.New(dlfm.Config{
+		Name:     *name,
+		Phys:     phys,
+		Archive:  archive.New(0, nil),
+		Host:     &standaloneHost{},
+		TokenKey: []byte(*key),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	server, bound, err := upcall.Serve(srv, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dlfmd: %s serving upcalls on %s (%d files seeded)\n", *name, bound, len(seeds))
+
+	if *selftest {
+		client, err := upcall.Dial(bound)
+		if err != nil {
+			fatal(err)
+		}
+		path := "/selftest.txt"
+		if err := phys.WriteFile(path, []byte("ok")); err != nil {
+			fatal(err)
+		}
+		tok := srv.Authority().Issue(token.Read, path)
+		resp, err := client.Upcall(upcall.Request{Op: upcall.OpValidateToken, Path: path, Token: tok, UID: 100})
+		if err != nil || !resp.OK {
+			fatal(fmt.Errorf("selftest validate failed: %+v %v", resp, err))
+		}
+		fmt.Println("dlfmd: selftest passed (token validated over TCP)")
+		client.Close()
+		server.Close()
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dlfmd: shutting down")
+	server.Close()
+	srv.Close()
+}
+
+type seed struct{ path, content string }
+
+type seedList []seed
+
+func (s *seedList) String() string { return fmt.Sprintf("%d seeds", len(*s)) }
+func (s *seedList) Set(v string) error {
+	path, content, ok := strings.Cut(v, "=")
+	if !ok || !strings.HasPrefix(path, "/") {
+		return fmt.Errorf("seed must be /path=content, got %q", v)
+	}
+	*s = append(*s, seed{path: path, content: content})
+	return nil
+}
+
+func parentDir(p string) string {
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlfmd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Quickstart: link a file to the database, read it with a token, update it
+// in place with transactional semantics, and roll an update back.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datalinks"
+)
+
+func main() {
+	sys, err := datalinks.Open(datalinks.Config{
+		Servers: []datalinks.ServerConfig{{Name: "fs1"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A file server with one file, owned by uid 100.
+	fsrv, err := sys.FileServer("fs1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fsrv.SeedFile("/pages/index.html", []byte("<html>v1</html>"), 100); err != nil {
+		log.Fatal(err)
+	}
+
+	// Link the file under database control: rdd = token-gated reads AND
+	// database-managed in-place update, with archived versions.
+	sys.MustExec(`CREATE TABLE pages (
+		id INT PRIMARY KEY,
+		title VARCHAR,
+		doc DATALINK MODE RDD RECOVERY YES,
+		doc_size INT,
+		doc_mtime TIMESTAMP
+	)`)
+	sys.MustExec(`INSERT INTO pages VALUES (1, 'home', DLVALUE('dlfs://fs1/pages/index.html'), NULL, NULL)`)
+	fmt.Println("linked:", fsrv.LinkedFiles())
+
+	// Read through the file API with a token from the database.
+	readURL, err := sys.QueryString(`SELECT DLURLCOMPLETE(doc) FROM pages WHERE id = 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := sys.Session(100)
+	f, err := sess.OpenRead(readURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, _ := f.ReadAll()
+	f.Close()
+	fmt.Printf("read via token: %s\n", content)
+
+	// Update in place: open = begin transaction, close = commit.
+	writeURL, err := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM pages WHERE id = 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := sess.OpenWrite(writeURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.WriteAll([]byte("<html>v2 — updated in place</html>")); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // commit
+		log.Fatal(err)
+	}
+
+	// The size/mtime metadata was updated in the same transaction (§4.3).
+	rows, err := sys.Query(`SELECT doc_size FROM pages WHERE id = 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed update; doc_size in database = %v\n", rows.Data[0][0])
+	fmt.Printf("archived versions: %v\n", fsrv.Versions("/pages/index.html"))
+
+	// An aborted update never becomes visible.
+	writeURL, _ = sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM pages WHERE id = 1`)
+	w2, err := sess.OpenWrite(writeURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w2.WriteAll([]byte("half-finished garbage"))
+	if err := w2.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	data, _ := fsrv.ReadFile("/pages/index.html")
+	fmt.Printf("after abort the file is back to: %s\n", data)
+}

@@ -1,0 +1,161 @@
+package datalinks_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"datalinks"
+)
+
+// TestContentHookUserMetadata exercises the §4.3 future-work extension:
+// content-derived user metadata updated in the same transaction as the
+// committed file update.
+func TestContentHookUserMetadata(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/pages/p.html", []byte("one two three"), 100)
+	sys.MustExec(`CREATE TABLE pages (
+		id INT PRIMARY KEY,
+		doc DATALINK MODE RFD RECOVERY YES,
+		doc_size INT,
+		word_count INT,
+		first_word VARCHAR
+	)`)
+	sys.MustExec(`INSERT INTO pages (id, doc) VALUES (1, DLVALUE('dlfs://fs1/pages/p.html'))`)
+
+	sys.RegisterContentHook("pages", "doc", func(content []byte) map[string]any {
+		words := strings.Fields(string(content))
+		first := ""
+		if len(words) > 0 {
+			first = words[0]
+		}
+		return map[string]any{
+			"word_count": len(words),
+			"first_word": first,
+		}
+	})
+
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM pages WHERE id = 1`)
+	f, err := sys.Session(100).OpenWrite(url)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.WriteAll([]byte("alpha beta gamma delta epsilon"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	rows, err := sys.Query(`SELECT word_count, first_word, doc_size FROM pages WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	r := rows.Data[0]
+	if r[0].(int64) != 5 || r[1].(string) != "alpha" {
+		t.Fatalf("derived metadata = %+v", r)
+	}
+	if r[2].(int64) != int64(len("alpha beta gamma delta epsilon")) {
+		t.Fatalf("size metadata = %v", r[2])
+	}
+}
+
+// TestContentHookRollsBackWithUpdate verifies the derived metadata shares
+// the update transaction's fate: a failed commit leaves it untouched.
+func TestContentHookAbortLeavesMetadata(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/f.txt", []byte("v0"), 100)
+	sys.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES, tag VARCHAR)`)
+	sys.MustExec(`INSERT INTO t (id, doc) VALUES (1, DLVALUE('dlfs://fs1/d/f.txt'))`)
+	sys.RegisterContentHook("t", "doc", func(content []byte) map[string]any {
+		return map[string]any{"tag": "len=" + string(rune('0'+len(content)%10))}
+	})
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM t WHERE id = 1`)
+	f, _ := sys.Session(100).OpenWrite(url)
+	f.WriteAll([]byte("doomed"))
+	if err := f.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	rows, _ := sys.Query(`SELECT tag FROM t WHERE id = 1`)
+	if rows.Data[0][0] != nil {
+		t.Fatalf("aborted update wrote metadata: %v", rows.Data[0][0])
+	}
+}
+
+func TestCheckOutManagerFacade(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/doc.txt", []byte("v0"), 100)
+	m, err := sys.NewCheckOutManager("fs1")
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	tk, err := m.CheckOut(100, "dlfs://fs1/d/doc.txt")
+	if err != nil {
+		t.Fatalf("checkout: %v", err)
+	}
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", m.Outstanding())
+	}
+	if _, err := m.CheckOut(101, "dlfs://fs1/d/doc.txt"); err == nil {
+		t.Fatal("second checkout should block")
+	}
+	tk.SetContent([]byte("edited"))
+	if err := m.CheckIn(tk); err != nil {
+		t.Fatalf("checkin: %v", err)
+	}
+	data, _ := fsrv.ReadFile("/d/doc.txt")
+	if !bytes.Equal(data, []byte("edited")) {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+func TestCopyUpdateManagerFacade(t *testing.T) {
+	sys, fsrv := openSys(t)
+	fsrv.SeedFile("/d/doc.txt", []byte("base"), 100)
+	m, err := sys.NewCopyUpdateManager("fs1")
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	c1, _ := m.Copy("dlfs://fs1/d/doc.txt")
+	c2, _ := m.Copy("dlfs://fs1/d/doc.txt")
+	c1.SetContent([]byte("one"))
+	c2.SetContent([]byte("two"))
+	if err := m.CheckInBlind(c1); err != nil {
+		t.Fatalf("checkin 1: %v", err)
+	}
+	if err := m.CheckInSafe(c2, func(base, mine, theirs []byte) ([]byte, error) {
+		return append(append([]byte{}, theirs...), mine...), nil
+	}); err != nil {
+		t.Fatalf("merged checkin: %v", err)
+	}
+	data, _ := fsrv.ReadFile("/d/doc.txt")
+	if string(data) != "onetwo" {
+		t.Fatalf("merged = %q", data)
+	}
+	_, lost, merges, _ := m.Stats()
+	if lost != 0 || merges != 1 {
+		t.Fatalf("stats lost=%d merges=%d", lost, merges)
+	}
+}
+
+func TestTCPUpcallsViaFacade(t *testing.T) {
+	sys, err := datalinks.Open(datalinks.Config{
+		Servers: []datalinks.ServerConfig{{Name: "fs1", TCPUpcalls: true, OpenWait: time.Second}},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer sys.Close()
+	fsrv, _ := sys.FileServer("fs1")
+	fsrv.SeedFile("/d/f.txt", []byte("over tcp"), 100)
+	sys.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY YES)`)
+	sys.MustExec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f.txt'))`)
+	url, _ := sys.QueryString(`SELECT DLURLCOMPLETE(doc) FROM t WHERE id = 1`)
+	f, err := sys.Session(100).OpenRead(url)
+	if err != nil {
+		t.Fatalf("open over tcp: %v", err)
+	}
+	data, _ := f.ReadAll()
+	f.Close()
+	if string(data) != "over tcp" {
+		t.Fatalf("read = %q", data)
+	}
+}

@@ -1,0 +1,208 @@
+// Package archive implements the archive server of §4.4: a versioned store
+// of linked-file contents used for update atomicity (restore the last
+// committed version after an abort or crash) and for coordinated
+// point-in-time restore (each version carries the host database state
+// identifier that was current when it committed).
+//
+// The store is in-memory (the paper used a tertiary archive device); a
+// configurable per-operation latency models the device so the "block new
+// updates until archiving completes" behaviour of the paper is observable.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Version numbers a file's archived states, starting at 0 for the content
+// at link time.
+type Version int64
+
+// Entry is one archived version of one file.
+type Entry struct {
+	Server  string
+	Path    string
+	Version Version
+	StateID uint64 // host database state identifier (tail LSN) at commit
+	Size    int64
+	Content []byte
+	Stored  time.Time
+}
+
+// Errors.
+var (
+	ErrNotFound = errors.New("archive: no such version")
+)
+
+// Store is an archive server. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string][]Entry // key: server + "\x00" + path, sorted by version
+	latency time.Duration
+	clock   func() time.Time
+
+	// Stats for the experiment harness.
+	puts     int64
+	restores int64
+	bytes    int64
+}
+
+// New returns an empty archive store. latency is applied to every Put and
+// Get, modelling the archive device of the paper; zero means instant.
+func New(latency time.Duration, clock func() time.Time) *Store {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Store{
+		entries: make(map[string][]Entry),
+		latency: latency,
+		clock:   clock,
+	}
+}
+
+func key(server, path string) string { return server + "\x00" + path }
+
+// SetLatency adjusts the simulated device latency.
+func (s *Store) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
+
+func (s *Store) sleep() {
+	s.mu.Lock()
+	d := s.latency
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Put archives a version of a file. Content is copied. Versions must be
+// archived in increasing order per file; re-archiving an existing version is
+// an error (versions are immutable).
+func (s *Store) Put(server, path string, v Version, stateID uint64, content []byte) error {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(server, path)
+	list := s.entries[k]
+	if n := len(list); n > 0 && list[n-1].Version >= v {
+		return fmt.Errorf("archive: version %d of %s not newer than archived %d", v, path, list[n-1].Version)
+	}
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	s.entries[k] = append(list, Entry{
+		Server:  server,
+		Path:    path,
+		Version: v,
+		StateID: stateID,
+		Size:    int64(len(cp)),
+		Content: cp,
+		Stored:  s.clock(),
+	})
+	s.puts++
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get returns a specific archived version.
+func (s *Store) Get(server, path string, v Version) (Entry, error) {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries[key(server, path)] {
+		if e.Version == v {
+			s.restores++
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %s v%d", ErrNotFound, path, v)
+}
+
+// Latest returns the newest archived version of a file.
+func (s *Store) Latest(server, path string) (Entry, error) {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.entries[key(server, path)]
+	if len(list) == 0 {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	s.restores++
+	return list[len(list)-1], nil
+}
+
+// AsOf returns the newest version whose StateID is <= stateID — the version
+// that was current when the database was at that state (§4.4).
+func (s *Store) AsOf(server, path string, stateID uint64) (Entry, error) {
+	s.sleep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.entries[key(server, path)]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].StateID <= stateID {
+			s.restores++
+			return list[i], nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %s as of state %d", ErrNotFound, path, stateID)
+}
+
+// TruncateAfter discards versions with StateID > stateID (used when the
+// database itself is restored to an earlier point in time).
+func (s *Store) TruncateAfter(server, path string, stateID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(server, path)
+	list := s.entries[k]
+	cut := len(list)
+	for i, e := range list {
+		if e.StateID > stateID {
+			cut = i
+			break
+		}
+	}
+	s.entries[k] = list[:cut]
+}
+
+// Versions lists the archived versions of a file in order.
+func (s *Store) Versions(server, path string) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.entries[key(server, path)]
+	out := make([]Entry, len(list))
+	copy(out, list)
+	return out
+}
+
+// Files lists every archived path for a server, sorted.
+func (s *Store) Files(server string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.entries {
+		if len(k) > len(server) && k[:len(server)] == server && k[len(server)] == 0 {
+			out = append(out, k[len(server)+1:])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop discards every version of a file (after unlink with no recovery need).
+func (s *Store) Drop(server, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, key(server, path))
+}
+
+// Stats reports operation counts for benchmarks.
+func (s *Store) Stats() (puts, restores, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.restores, s.bytes
+}

@@ -1,0 +1,175 @@
+package archive
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPutGetLatest(t *testing.T) {
+	s := New(0, nil)
+	if err := s.Put("fs1", "/a", 0, 10, []byte("v0")); err != nil {
+		t.Fatalf("put v0: %v", err)
+	}
+	if err := s.Put("fs1", "/a", 1, 20, []byte("v1")); err != nil {
+		t.Fatalf("put v1: %v", err)
+	}
+	e, err := s.Get("fs1", "/a", 0)
+	if err != nil || string(e.Content) != "v0" {
+		t.Fatalf("get v0 = %q, %v", e.Content, err)
+	}
+	latest, err := s.Latest("fs1", "/a")
+	if err != nil || latest.Version != 1 || string(latest.Content) != "v1" {
+		t.Fatalf("latest = %+v, %v", latest, err)
+	}
+}
+
+func TestVersionsMustIncrease(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 1, 10, []byte("v1"))
+	if err := s.Put("fs1", "/a", 1, 20, []byte("dup")); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	if err := s.Put("fs1", "/a", 0, 20, []byte("old")); err == nil {
+		t.Fatal("out-of-order version accepted")
+	}
+}
+
+func TestContentIsCopied(t *testing.T) {
+	s := New(0, nil)
+	buf := []byte("original")
+	s.Put("fs1", "/a", 0, 1, buf)
+	buf[0] = 'X'
+	e, _ := s.Get("fs1", "/a", 0)
+	if string(e.Content) != "original" {
+		t.Fatalf("stored content aliased caller buffer: %q", e.Content)
+	}
+}
+
+func TestAsOfSelectsByStateID(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 0, 10, []byte("v0"))
+	s.Put("fs1", "/a", 1, 20, []byte("v1"))
+	s.Put("fs1", "/a", 2, 30, []byte("v2"))
+
+	cases := []struct {
+		state uint64
+		want  string
+	}{
+		{10, "v0"}, {15, "v0"}, {20, "v1"}, {29, "v1"}, {30, "v2"}, {99, "v2"},
+	}
+	for _, c := range cases {
+		e, err := s.AsOf("fs1", "/a", c.state)
+		if err != nil || string(e.Content) != c.want {
+			t.Errorf("AsOf(%d) = %q, %v; want %q", c.state, e.Content, err, c.want)
+		}
+	}
+	if _, err := s.AsOf("fs1", "/a", 5); !errors.Is(err, ErrNotFound) {
+		t.Errorf("AsOf before first version = %v", err)
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 0, 10, []byte("v0"))
+	s.Put("fs1", "/a", 1, 20, []byte("v1"))
+	s.Put("fs1", "/a", 2, 30, []byte("v2"))
+	s.TruncateAfter("fs1", "/a", 20)
+	vs := s.Versions("fs1", "/a")
+	if len(vs) != 2 || vs[1].Version != 1 {
+		t.Fatalf("after truncate: %+v", vs)
+	}
+	// New versions can be appended after a truncate.
+	if err := s.Put("fs1", "/a", 2, 40, []byte("v2b")); err != nil {
+		t.Fatalf("re-put after truncate: %v", err)
+	}
+}
+
+func TestServerNamespaceIsolation(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 0, 1, []byte("one"))
+	s.Put("fs2", "/a", 0, 1, []byte("two"))
+	e1, _ := s.Latest("fs1", "/a")
+	e2, _ := s.Latest("fs2", "/a")
+	if string(e1.Content) != "one" || string(e2.Content) != "two" {
+		t.Fatalf("cross-server contamination: %q, %q", e1.Content, e2.Content)
+	}
+	files := s.Files("fs1")
+	if len(files) != 1 || files[0] != "/a" {
+		t.Fatalf("files(fs1) = %v", files)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 0, 1, []byte("x"))
+	s.Drop("fs1", "/a")
+	if _, err := s.Latest("fs1", "/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped file still present: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s := New(4*time.Millisecond, nil)
+	start := time.Now()
+	s.Put("fs1", "/a", 0, 1, []byte("x"))
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("put latency not injected: %v", d)
+	}
+	s.SetLatency(0)
+	start = time.Now()
+	s.Latest("fs1", "/a")
+	if d := time.Since(start); d > 2*time.Millisecond {
+		t.Fatalf("latency not cleared: %v", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 0, 1, []byte("abcd"))
+	s.Latest("fs1", "/a")
+	puts, restores, bytes := s.Stats()
+	if puts != 1 || restores != 1 || bytes != 4 {
+		t.Fatalf("stats = %d, %d, %d", puts, restores, bytes)
+	}
+}
+
+// Property: AsOf always returns the newest version with StateID <= s, for
+// any increasing (version, stateID) chain.
+func TestAsOfProperty(t *testing.T) {
+	prop := func(deltas []uint8, probe uint16) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		if len(deltas) > 20 {
+			deltas = deltas[:20]
+		}
+		s := New(0, nil)
+		state := uint64(0)
+		var states []uint64
+		for i, d := range deltas {
+			state += uint64(d%50) + 1
+			states = append(states, state)
+			if err := s.Put("fs1", "/p", Version(i), state, []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		q := uint64(probe)
+		e, err := s.AsOf("fs1", "/p", q)
+		// Expected: newest index with states[i] <= q.
+		want := -1
+		for i, st := range states {
+			if st <= q {
+				want = i
+			}
+		}
+		if want < 0 {
+			return errors.Is(err, ErrNotFound)
+		}
+		return err == nil && e.Version == Version(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

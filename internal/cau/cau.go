@@ -1,0 +1,166 @@
+// Package cau implements the copy-and-update discipline of §3: applications
+// take private copies without locking; multiple copies of the same file can
+// exist; consistency is the application's problem. The paper notes "a lost
+// update can occur with this approach, if not done carefully, and it does
+// occur" — this implementation offers both the careless path (blind check-in,
+// last writer wins) and the careful path (version-checked check-in with a
+// merge callback), so the E6 experiment can count the lost updates.
+package cau
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datalinks/internal/archive"
+	"datalinks/internal/datalink"
+	"datalinks/internal/fs"
+)
+
+// Errors.
+var (
+	// ErrConflict reports that the file changed since the copy was taken and
+	// no merge function was supplied.
+	ErrConflict = errors.New("cau: file changed since copy was taken")
+	ErrStale    = errors.New("cau: working copy already checked in")
+)
+
+// MergeFunc reconciles a working copy with the current file content:
+// base is the content the copy started from, mine the edited copy, theirs
+// the current committed content. It returns the merged result.
+type MergeFunc func(base, mine, theirs []byte) ([]byte, error)
+
+// Manager coordinates copies of files on one file server.
+type Manager struct {
+	phys  *fs.FS
+	arch  *archive.Store
+	srv   string
+	clock func() time.Time
+
+	mu      sync.Mutex
+	genOf   map[string]int64 // path -> generation, bumped on every check-in
+	copies  int64
+	lost    int64 // lost updates caused by blind check-ins
+	merges  int64
+	rejects int64
+}
+
+// New creates a copy-and-update manager.
+func New(phys *fs.FS, arch *archive.Store, server string, clock func() time.Time) *Manager {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Manager{phys: phys, arch: arch, srv: server, clock: clock, genOf: make(map[string]int64)}
+}
+
+// WorkCopy is a private copy of a file.
+type WorkCopy struct {
+	URL     string
+	Content []byte // edit freely
+	base    []byte // content at copy time
+	baseGen int64
+	path    string
+	valid   bool
+}
+
+// Copy takes a private copy. No lock is placed; any number of copies of the
+// same file may exist concurrently.
+func (m *Manager) Copy(url string) (*WorkCopy, error) {
+	l, err := datalink.Parse(url)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	gen := m.genOf[l.Path]
+	m.mu.Unlock()
+	content, err := m.phys.ReadFile(l.Path)
+	if err != nil {
+		return nil, err
+	}
+	base := make([]byte, len(content))
+	copy(base, content)
+	m.mu.Lock()
+	m.copies++
+	m.mu.Unlock()
+	return &WorkCopy{URL: url, Content: content, base: base, baseGen: gen, path: l.Path, valid: true}, nil
+}
+
+// CheckInBlind writes the copy back unconditionally: last writer wins. If the
+// file changed since the copy was taken, the intervening update is LOST and
+// counted — the §3 hazard.
+func (m *Manager) CheckInBlind(wc *WorkCopy) error {
+	if !wc.valid {
+		return ErrStale
+	}
+	m.mu.Lock()
+	if m.genOf[wc.path] != wc.baseGen {
+		m.lost++ // someone else's committed update is being overwritten
+	}
+	m.genOf[wc.path]++
+	gen := m.genOf[wc.path]
+	m.mu.Unlock()
+	wc.valid = false
+	return m.writeBack(wc.path, wc.Content, gen)
+}
+
+// CheckInSafe writes the copy back only if the file is unchanged since the
+// copy was taken; otherwise merge is consulted (three-way) or the check-in
+// is rejected with ErrConflict.
+func (m *Manager) CheckInSafe(wc *WorkCopy, merge MergeFunc) error {
+	if !wc.valid {
+		return ErrStale
+	}
+	m.mu.Lock()
+	current := m.genOf[wc.path]
+	if current == wc.baseGen {
+		m.genOf[wc.path]++
+		gen := m.genOf[wc.path]
+		m.mu.Unlock()
+		wc.valid = false
+		return m.writeBack(wc.path, wc.Content, gen)
+	}
+	m.mu.Unlock()
+	if merge == nil {
+		m.mu.Lock()
+		m.rejects++
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrConflict, wc.path)
+	}
+	theirs, err := m.phys.ReadFile(wc.path)
+	if err != nil {
+		return err
+	}
+	merged, err := merge(wc.base, wc.Content, theirs)
+	if err != nil {
+		m.mu.Lock()
+		m.rejects++
+		m.mu.Unlock()
+		return fmt.Errorf("cau: merge failed: %w", err)
+	}
+	m.mu.Lock()
+	m.genOf[wc.path]++
+	gen := m.genOf[wc.path]
+	m.merges++
+	m.mu.Unlock()
+	wc.valid = false
+	return m.writeBack(wc.path, merged, gen)
+}
+
+// writeBack installs content and archives it as a new version.
+func (m *Manager) writeBack(path string, content []byte, gen int64) error {
+	if err := m.phys.WriteFile(path, content); err != nil {
+		return err
+	}
+	return m.arch.Put(m.srv, path, archive.Version(gen), uint64(gen), content)
+}
+
+// Discard abandons a working copy.
+func (m *Manager) Discard(wc *WorkCopy) { wc.valid = false }
+
+// Stats reports copies taken, lost updates, merges, and rejected check-ins.
+func (m *Manager) Stats() (copies, lost, merges, rejects int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.copies, m.lost, m.merges, m.rejects
+}

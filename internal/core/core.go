@@ -1,0 +1,518 @@
+// Package core assembles the paper's system and packages its primary
+// contribution — database-managed in-place update of external files — behind
+// a small API: a System wiring the host database, DataLinks engine, and any
+// number of file servers (DLFM + DLFS + physical FS + archive), and Sessions
+// through which applications read and update linked files with transactional
+// semantics (open = begin, close = commit, §3.1/§4.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"datalinks/internal/archive"
+	"datalinks/internal/datalink"
+	"datalinks/internal/dlfm"
+	"datalinks/internal/dlfs"
+	"datalinks/internal/engine"
+	"datalinks/internal/fs"
+	"datalinks/internal/metrics"
+	"datalinks/internal/sqlmini"
+	"datalinks/internal/token"
+	"datalinks/internal/upcall"
+	"datalinks/internal/vfs"
+)
+
+// ServerConfig configures one file server of a System.
+type ServerConfig struct {
+	Name string
+	// UpcallLatency simulates the DLFS↔DLFM IPC cost (0 = in-process direct).
+	UpcallLatency time.Duration
+	// ArchiveLatency simulates the archive device (§4.4).
+	ArchiveLatency time.Duration
+	// Strict enables the §4.5 strict-link-check extension on this server.
+	Strict bool
+	// OpenWait bounds DLFM open-approval waits.
+	OpenWait time.Duration
+	// TCPUpcalls routes DLFS→DLFM upcalls over a real TCP loopback
+	// connection (gob-encoded), matching the kernel/daemon process split of
+	// Figure 1, instead of direct in-process calls.
+	TCPUpcalls bool
+}
+
+// Config configures a System.
+type Config struct {
+	Servers     []ServerConfig
+	Clock       func() time.Time
+	TokenKey    []byte
+	TokenTTL    time.Duration
+	LockTimeout time.Duration
+}
+
+// FileServer bundles one file server's stack.
+type FileServer struct {
+	Name      string
+	Phys      *fs.FS
+	Archive   *archive.Store
+	DLFM      *dlfm.Server
+	DLFS      *dlfs.DLFS
+	LFS       *vfs.LFS // applications' mount (through DLFS)
+	NativeLFS *vfs.LFS // bypass mount (native-FS baseline measurements)
+	Transport *upcall.Transport
+	cfg       ServerConfig
+
+	// TCP deployment resources (nil for in-process upcalls).
+	tcpServer *upcall.Server
+	tcpClient *upcall.Client
+}
+
+// System is a running DataLinks deployment.
+type System struct {
+	DB      *sqlmini.DB
+	Engine  *engine.Engine
+	clock   func() time.Time
+	key     []byte
+	ttl     time.Duration
+	mu      sync.Mutex
+	servers map[string]*FileServer
+}
+
+// NewSystem builds and wires a complete deployment.
+func NewSystem(cfg Config) (*System, error) {
+	if len(cfg.Servers) == 0 {
+		cfg.Servers = []ServerConfig{{Name: "fs1"}}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if len(cfg.TokenKey) == 0 {
+		cfg.TokenKey = []byte("datalinks-shared-secret")
+	}
+	db := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.LockTimeout})
+	eng := engine.New(db, engine.Options{Clock: cfg.Clock})
+	sys := &System{
+		DB:      db,
+		Engine:  eng,
+		clock:   cfg.Clock,
+		key:     cfg.TokenKey,
+		ttl:     cfg.TokenTTL,
+		servers: make(map[string]*FileServer),
+	}
+	for _, sc := range cfg.Servers {
+		if _, err := sys.addServer(sc); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// addServer constructs one file server stack and attaches it to the engine.
+func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
+	phys := fs.NewWithClock(sys.clock)
+	arch := archive.New(sc.ArchiveLatency, sys.clock)
+	srv, err := dlfm.New(dlfm.Config{
+		Name:     sc.Name,
+		Phys:     phys,
+		Archive:  arch,
+		Host:     sys.Engine,
+		TokenKey: sys.key,
+		Clock:    sys.clock,
+		OpenWait: sc.OpenWait,
+		TokenTTL: sys.ttl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fsrv := &FileServer{
+		Name:      sc.Name,
+		Phys:      phys,
+		Archive:   arch,
+		DLFM:      srv,
+		NativeLFS: vfs.NewLFS(vfs.NewPassthrough(phys)),
+		cfg:       sc,
+	}
+	// The upcall channel: direct in-process calls by default; a real TCP
+	// loopback hop when the config asks for the daemon deployment.
+	var svc upcall.Service = srv
+	if sc.TCPUpcalls {
+		tcpServer, addr, err := upcall.Serve(srv, "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("core: upcall server: %w", err)
+		}
+		client, err := upcall.Dial(addr)
+		if err != nil {
+			tcpServer.Close()
+			return nil, fmt.Errorf("core: upcall dial: %w", err)
+		}
+		fsrv.tcpServer = tcpServer
+		fsrv.tcpClient = client
+		svc = client
+	}
+	transport := upcall.NewInProc(svc, sc.UpcallLatency, nil)
+	mount := dlfs.New(dlfs.Config{
+		Phys:    phys,
+		Upcall:  transport,
+		DLFMUid: srv.UID(),
+		Strict:  sc.Strict,
+	})
+	fsrv.DLFS = mount
+	fsrv.LFS = vfs.NewLFS(mount)
+	fsrv.Transport = transport
+	sys.mu.Lock()
+	sys.servers[sc.Name] = fsrv
+	sys.mu.Unlock()
+	sys.Engine.AttachFileServer(srv, sys.key, sys.ttl)
+	return fsrv, nil
+}
+
+// Server returns a file server by name.
+func (sys *System) Server(name string) (*FileServer, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	s, ok := sys.servers[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no file server %q", name)
+	}
+	return s, nil
+}
+
+// ServerNames lists the file servers.
+func (sys *System) ServerNames() []string {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	out := make([]string, 0, len(sys.servers))
+	for n := range sys.servers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close shuts down background work on every server.
+func (sys *System) Close() {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	for _, s := range sys.servers {
+		s.DLFM.WaitArchives()
+		s.DLFM.Close()
+		if s.tcpClient != nil {
+			s.tcpClient.Close()
+		}
+		if s.tcpServer != nil {
+			s.tcpServer.Close()
+		}
+	}
+}
+
+// CrashAndRecoverServer simulates a crash of one file server machine and
+// runs DLFM restart recovery (§4.2/§4.4): in-flight updates roll back to
+// the last committed version, in-doubt sub-transactions resolve against the
+// host, pending archives complete.
+func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, error) {
+	sys.mu.Lock()
+	old, ok := sys.servers[name]
+	sys.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no file server %q", name)
+	}
+	durable := old.DLFM.CrashRepo()
+	// The crash also kills the daemon's TCP endpoints.
+	if old.tcpClient != nil {
+		old.tcpClient.Close()
+	}
+	if old.tcpServer != nil {
+		old.tcpServer.Close()
+	}
+	srv, rep, err := dlfm.Recover(dlfm.Config{
+		Name:     name,
+		Phys:     old.Phys, // the disk survives
+		Archive:  old.Archive,
+		Host:     sys.Engine,
+		TokenKey: sys.key,
+		Clock:    sys.clock,
+		OpenWait: old.cfg.OpenWait,
+		TokenTTL: sys.ttl,
+	}, durable)
+	if err != nil {
+		return nil, err
+	}
+	fresh := &FileServer{
+		Name:      name,
+		Phys:      old.Phys,
+		Archive:   old.Archive,
+		DLFM:      srv,
+		NativeLFS: old.NativeLFS,
+		cfg:       old.cfg,
+	}
+	var svc upcall.Service = srv
+	if old.cfg.TCPUpcalls {
+		tcpServer, addr, err := upcall.Serve(srv, "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("core: upcall server after recovery: %w", err)
+		}
+		client, err := upcall.Dial(addr)
+		if err != nil {
+			tcpServer.Close()
+			return nil, fmt.Errorf("core: upcall dial after recovery: %w", err)
+		}
+		fresh.tcpServer = tcpServer
+		fresh.tcpClient = client
+		svc = client
+	}
+	transport := upcall.NewInProc(svc, old.cfg.UpcallLatency, nil)
+	mount := dlfs.New(dlfs.Config{
+		Phys:    old.Phys,
+		Upcall:  transport,
+		DLFMUid: srv.UID(),
+		Strict:  old.cfg.Strict,
+	})
+	fresh.DLFS = mount
+	fresh.LFS = vfs.NewLFS(mount)
+	fresh.Transport = transport
+	sys.mu.Lock()
+	sys.servers[name] = fresh
+	sys.mu.Unlock()
+	sys.Engine.AttachFileServer(srv, sys.key, sys.ttl)
+	return rep, nil
+}
+
+// RecoverHost crashes and recovers the host database, refreshing the
+// system's handle to the rebuilt instance.
+func (sys *System) RecoverHost() error {
+	if err := sys.Engine.RecoverHost(); err != nil {
+		return err
+	}
+	sys.mu.Lock()
+	sys.DB = sys.Engine.DB()
+	sys.mu.Unlock()
+	return nil
+}
+
+// Session is an application identity working against the system.
+type Session struct {
+	sys  *System
+	cred fs.Cred
+}
+
+// NewSession returns a session with the given uid.
+func (sys *System) NewSession(uid fs.UID) *Session {
+	return &Session{sys: sys, cred: fs.Cred{UID: uid}}
+}
+
+// Cred returns the session's credentials.
+func (s *Session) Cred() fs.Cred { return s.cred }
+
+// errAborted marks a file handle whose update was explicitly aborted.
+var errAborted = errors.New("core: update aborted")
+
+// File is an open linked file. For write opens, the open..close window is a
+// file-update transaction: Close commits, Abort rolls back to the last
+// committed version.
+type File struct {
+	sess    *Session
+	srv     *FileServer
+	path    string
+	fd      vfs.FD
+	write   bool
+	aborted bool
+}
+
+// SplitURL decomposes a (possibly token-carrying) DATALINK URL into server,
+// path and the name to hand to the file system API (path plus token).
+func SplitURL(url string) (server, fsName string, err error) {
+	clean, tok, hasTok := token.Extract(url)
+	l, err := datalink.Parse(clean)
+	if err != nil {
+		return "", "", err
+	}
+	name := l.Path
+	if hasTok {
+		name = token.Embed(l.Path, tok)
+	}
+	return l.Server, name, nil
+}
+
+// open opens a URL through the DataLinks file system.
+func (s *Session) open(url string, mode fs.AccessMode) (*File, error) {
+	server, name, err := SplitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := s.sys.Server(server)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := srv.LFS.Open(s.cred, name, mode)
+	if err != nil {
+		return nil, err
+	}
+	cleanPath, _, _ := token.Extract(name)
+	return &File{sess: s, srv: srv, path: cleanPath, fd: fd, write: mode&fs.AccessWrite != 0}, nil
+}
+
+// OpenRead opens a linked file for reading. The URL should come from
+// DLURLCOMPLETE (it carries the read token when one is required).
+func (s *Session) OpenRead(url string) (*File, error) { return s.open(url, fs.AccessRead) }
+
+// OpenWrite begins an in-place update transaction on a linked file. The URL
+// should come from DLURLCOMPLETEWRITE (it carries the write token).
+func (s *Session) OpenWrite(url string) (*File, error) { return s.open(url, fs.ReadWrite) }
+
+// Read reads from the current offset.
+func (f *File) Read(p []byte) (int, error) { return f.srv.LFS.Read(f.fd, p) }
+
+// ReadAll reads the whole file.
+func (f *File) ReadAll() ([]byte, error) { return f.srv.LFS.ReadAll(f.fd) }
+
+// Write writes at the current offset.
+func (f *File) Write(p []byte) (int, error) { return f.srv.LFS.Write(f.fd, p) }
+
+// WriteAt writes at an absolute offset.
+func (f *File) WriteAt(off int64, p []byte) (int, error) { return f.srv.LFS.WriteAt(f.fd, off, p) }
+
+// Truncate sets the file length, like ftruncate(2) on the open write
+// descriptor (write permission was established at open).
+func (f *File) Truncate(size int64) error {
+	if !f.write {
+		return fs.ErrPermission
+	}
+	ino, err := f.srv.Phys.Lookup(f.path)
+	if err != nil {
+		return err
+	}
+	return f.srv.Phys.Truncate(ino, size)
+}
+
+// Stat returns the file's attributes.
+func (f *File) Stat() (fs.Attr, error) { return f.srv.LFS.Stat(f.fd) }
+
+// SeekTo repositions the descriptor to an absolute offset.
+func (f *File) SeekTo(off int64) error { return f.srv.LFS.Seek(f.fd, off) }
+
+// Path returns the server-relative path of the file.
+func (f *File) Path() string { return f.path }
+
+// Close ends the access. For a write open this commits the file-update
+// transaction: metadata updates in the host database, a new version is
+// archived, the file returns to its at-rest protection (§4.2–4.4).
+func (f *File) Close() error {
+	if f.aborted {
+		// The update was rolled back; releasing the descriptor will fail its
+		// close upcall (the open is gone at DLFM) — expected.
+		_ = f.srv.LFS.Close(f.fd)
+		return nil
+	}
+	return f.srv.LFS.Close(f.fd)
+}
+
+// Abort rolls the in-place update back: the last committed version is
+// restored from the archive and the in-flight content is quarantined (§4.2).
+func (f *File) Abort() error {
+	if !f.write {
+		return errors.New("core: Abort on a read open")
+	}
+	if f.aborted {
+		return errAborted
+	}
+	if err := f.srv.DLFM.AbortUpdateByPath(f.path); err != nil {
+		return err
+	}
+	f.aborted = true
+	_ = f.srv.LFS.Close(f.fd) // descriptor cleanup; upcall failure expected
+	return nil
+}
+
+// WriteAll replaces the whole content of the file.
+func (f *File) WriteAll(p []byte) error {
+	if _, err := f.WriteAt(0, p); err != nil {
+		return err
+	}
+	attr, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if attr.Size > int64(len(p)) {
+		return f.Truncate(int64(len(p)))
+	}
+	return nil
+}
+
+// UserTxn groups several file updates as sub-transactions of one logical
+// user transaction (§3.1's nested-transaction sketch): Commit closes the
+// files in order; the first failure aborts every remaining in-flight update.
+type UserTxn struct {
+	sess  *Session
+	files []*File
+	done  bool
+}
+
+// BeginUserTxn starts a multi-file update transaction.
+func (s *Session) BeginUserTxn() *UserTxn { return &UserTxn{sess: s} }
+
+// OpenWrite begins a file-update sub-transaction under this user transaction.
+func (u *UserTxn) OpenWrite(url string) (*File, error) {
+	if u.done {
+		return nil, errors.New("core: user transaction finished")
+	}
+	f, err := u.sess.OpenWrite(url)
+	if err != nil {
+		return nil, err
+	}
+	u.files = append(u.files, f)
+	return f, nil
+}
+
+// Commit commits every sub-transaction in open order. On the first failure
+// the remaining in-flight updates are rolled back and an error reporting
+// both committed and aborted paths is returned.
+func (u *UserTxn) Commit() error {
+	if u.done {
+		return errors.New("core: user transaction finished")
+	}
+	u.done = true
+	var committed []string
+	for i, f := range u.files {
+		if err := f.Close(); err != nil {
+			var abortedPaths []string
+			for _, rest := range u.files[i+1:] {
+				if aerr := rest.Abort(); aerr == nil {
+					abortedPaths = append(abortedPaths, rest.path)
+				}
+			}
+			return fmt.Errorf("core: user transaction failed at %s (%w); committed=[%s] aborted=[%s]",
+				f.path, err, strings.Join(committed, ","), strings.Join(abortedPaths, ","))
+		}
+		committed = append(committed, f.path)
+	}
+	return nil
+}
+
+// Abort rolls back every in-flight sub-transaction.
+func (u *UserTxn) Abort() error {
+	if u.done {
+		return errors.New("core: user transaction finished")
+	}
+	u.done = true
+	var firstErr error
+	for _, f := range u.files {
+		if err := f.Abort(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Metrics aggregates the registries of every component (status tooling).
+func (sys *System) Metrics() map[string]*metrics.Registry {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	out := map[string]*metrics.Registry{"engine": sys.Engine.Metrics()}
+	for n, s := range sys.servers {
+		out["dlfm:"+n] = s.DLFM.Metrics()
+		out["dlfs:"+n] = s.DLFS.Metrics()
+		out["upcall:"+n] = s.Transport.Metrics()
+	}
+	return out
+}

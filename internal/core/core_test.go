@@ -1,0 +1,705 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"datalinks/internal/fs"
+	"datalinks/internal/sqlmini"
+)
+
+const alice fs.UID = 100
+const bob fs.UID = 101
+
+// newSys builds a one-server system with a movies table and one linked clip.
+func newSys(t *testing.T, mode string) (*System, *FileServer) {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Servers:     []ServerConfig{{Name: "fs1", OpenWait: 300 * time.Millisecond}},
+		LockTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+	srv, _ := sys.Server("fs1")
+	if err := srv.Phys.MkdirAll("/movies", fs.Cred{UID: fs.Root}, 0o777); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := srv.Phys.WriteFile("/movies/clip1.mpg", []byte("v0 content")); err != nil {
+		t.Fatalf("seed file: %v", err)
+	}
+	// Give the file a real owner before linking.
+	ino, _ := srv.Phys.Lookup("/movies/clip1.mpg")
+	srv.Phys.Chown(ino, fs.Cred{UID: fs.Root}, alice)
+	srv.Phys.Chmod(ino, fs.Cred{UID: alice}, 0o644)
+
+	sys.DB.MustExec(`CREATE TABLE movies (
+		id INT PRIMARY KEY,
+		title VARCHAR,
+		clip DATALINK MODE ` + strings.ToUpper(mode) + ` RECOVERY YES,
+		clip_size INT,
+		clip_mtime TIMESTAMP
+	)`)
+	if _, err := sys.DB.Exec(`INSERT INTO movies (id, title, clip) VALUES (1, 'Casablanca', DLVALUE('dlfs://fs1/movies/clip1.mpg'))`); err != nil {
+		t.Fatalf("link insert: %v", err)
+	}
+	return sys, srv
+}
+
+// urlFor fetches the tokenized URL for the movie's clip.
+func urlFor(t *testing.T, sys *System, fn string) string {
+	t.Helper()
+	row, err := sys.DB.QueryRow(`SELECT ` + fn + `(clip) FROM movies WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("select %s: %v", fn, err)
+	}
+	return row[0].S
+}
+
+func TestLinkMakesFileReadOnly(t *testing.T) {
+	_, srv := newSys(t, "rfd")
+	ino, _ := srv.Phys.Lookup("/movies/clip1.mpg")
+	attr, _ := srv.Phys.Getattr(ino)
+	if attr.Mode&0o222 != 0 {
+		t.Fatalf("linked rfd file still writable: mode %o", attr.Mode)
+	}
+	if attr.UID != alice {
+		t.Fatalf("rfd link must not change ownership: uid %d", attr.UID)
+	}
+}
+
+func TestLinkFullControlTakesOver(t *testing.T) {
+	_, srv := newSys(t, "rdd")
+	ino, _ := srv.Phys.Lookup("/movies/clip1.mpg")
+	attr, _ := srv.Phys.Getattr(ino)
+	if attr.UID != srv.DLFM.UID() {
+		t.Fatalf("rdd link must take over ownership: uid %d", attr.UID)
+	}
+	if attr.Mode != 0o400 {
+		t.Fatalf("rdd at-rest mode = %o, want 400", attr.Mode)
+	}
+}
+
+func TestLinkRollbackRestoresPermissions(t *testing.T) {
+	sys, srv := newSys(t, "rdd")
+	srv.Phys.WriteFile("/movies/clip2.mpg", []byte("x"))
+	txn := sys.DB.Begin()
+	if _, err := txn.Exec(`INSERT INTO movies (id, title, clip) VALUES (2, 'Vertigo', DLVALUE('dlfs://fs1/movies/clip2.mpg'))`); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Mid-transaction the takeover is already applied (eager).
+	ino, _ := srv.Phys.Lookup("/movies/clip2.mpg")
+	attr, _ := srv.Phys.Getattr(ino)
+	if attr.UID != srv.DLFM.UID() {
+		t.Fatalf("takeover not eager: uid %d", attr.UID)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	attr, _ = srv.Phys.Getattr(ino)
+	if attr.UID == srv.DLFM.UID() {
+		t.Fatal("abort did not undo the takeover")
+	}
+	if srv.DLFM.IsLinked("/movies/clip2.mpg") {
+		t.Fatal("aborted link still in repository")
+	}
+}
+
+func TestReadWithTokenRDD(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	url := urlFor(t, sys, "DLURLCOMPLETE")
+	if !strings.Contains(url, ";dltoken=") {
+		t.Fatalf("rdd read URL missing token: %s", url)
+	}
+	sess := sys.NewSession(bob)
+	f, err := sess.OpenRead(url)
+	if err != nil {
+		t.Fatalf("open with token: %v", err)
+	}
+	data, err := f.ReadAll()
+	if err != nil || string(data) != "v0 content" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestReadWithoutTokenRDDFails(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	sess := sys.NewSession(bob)
+	if _, err := sess.OpenRead("dlfs://fs1/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("tokenless rdd read = %v, want permission denied", err)
+	}
+}
+
+func TestReadTokenCannotWrite(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	url := urlFor(t, sys, "DLURLCOMPLETE")
+	sess := sys.NewSession(bob)
+	if _, err := sess.OpenWrite(url); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("write with read token = %v, want permission denied", err)
+	}
+}
+
+func TestRFDReadNeedsNoTokenAndNoUpcall(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	url := urlFor(t, sys, "DLURLCOMPLETE")
+	if strings.Contains(url, ";dltoken=") {
+		t.Fatalf("rfd read URL should carry no token: %s", url)
+	}
+	srv.Transport.Reset()
+	sess := sys.NewSession(bob)
+	f, err := sess.OpenRead(url)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	data, _ := f.ReadAll()
+	if string(data) != "v0 content" {
+		t.Fatalf("read = %q", data)
+	}
+	f.Close()
+	if n := srv.Transport.Calls(); n != 0 {
+		t.Fatalf("rfd read path made %d upcalls, want 0", n)
+	}
+}
+
+func TestUpdateInPlaceCommit(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	wurl := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	if !strings.Contains(wurl, ";dltoken=") {
+		t.Fatalf("write URL missing token: %s", wurl)
+	}
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(wurl)
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	if err := f.WriteAll([]byte("v1 content!")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close (commit): %v", err)
+	}
+	srv.DLFM.WaitArchives()
+
+	// Content committed.
+	data, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v1 content!" {
+		t.Fatalf("content = %q", data)
+	}
+	// Metadata auto-updated in the same transaction (§4.3).
+	row, err := sys.DB.QueryRow(`SELECT clip_size FROM movies WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("select size: %v", err)
+	}
+	if row[0].I != int64(len("v1 content!")) {
+		t.Fatalf("clip_size = %d, want %d", row[0].I, len("v1 content!"))
+	}
+	// A version was archived with the commit state id.
+	versions := srv.Archive.Versions("fs1", "/movies/clip1.mpg")
+	if len(versions) != 2 || versions[1].Version != 1 {
+		t.Fatalf("versions = %+v", versions)
+	}
+	// File is read-only again at rest.
+	ino, _ := srv.Phys.Lookup("/movies/clip1.mpg")
+	attr, _ := srv.Phys.Getattr(ino)
+	if attr.Mode&0o222 != 0 || attr.UID != alice {
+		t.Fatalf("at-rest state after commit: uid=%d mode=%o", attr.UID, attr.Mode)
+	}
+}
+
+func TestUpdateAbortRestoresLastCommitted(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	wurl := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(wurl)
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	f.WriteAll([]byte("scribbled garbage"))
+	if err := f.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	data, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v0 content" {
+		t.Fatalf("content after abort = %q, want v0", data)
+	}
+	// In-flight content is quarantined.
+	names, err := srv.Phys.ReadDir("/lost+found")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("quarantine = %v, %v", names, err)
+	}
+	// The file is usable again: a new update succeeds.
+	wurl2 := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	f2, err := sess.OpenWrite(wurl2)
+	if err != nil {
+		t.Fatalf("open after abort: %v", err)
+	}
+	f2.WriteAll([]byte("v1"))
+	if err := f2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv.DLFM.WaitArchives()
+}
+
+func TestWriteWriteSerialization(t *testing.T) {
+	sys, _ := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	w1 := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	f1, err := sess.OpenWrite(w1)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	// Second writer times out at DLFM (OpenWait 300ms) -> busy.
+	w2 := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	if _, err := sess.OpenWrite(w2); !errors.Is(err, fs.ErrLocked) {
+		t.Fatalf("second writer = %v, want busy/locked", err)
+	}
+	f1.WriteAll([]byte("v1"))
+	if err := f1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestRFDReadRejectedDuringTakeover(t *testing.T) {
+	sys, _ := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	wurl := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	f, err := sess.OpenWrite(wurl)
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	// A reader during the update window is rejected by the permission check
+	// (the paper's read-write serialization without read locks).
+	reader := sys.NewSession(bob)
+	if _, err := reader.OpenRead("dlfs://fs1/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("read during takeover = %v, want permission denied", err)
+	}
+	f.Close()
+	// After the update commits, reads work again.
+	if _, err := reader.OpenRead("dlfs://fs1/movies/clip1.mpg"); err != nil {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestRDDReadWriteSerialization(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	sessA := sys.NewSession(alice)
+	// A reader holds the file open.
+	rurl := urlFor(t, sys, "DLURLCOMPLETE")
+	rf, err := sessA.OpenRead(rurl)
+	if err != nil {
+		t.Fatalf("open read: %v", err)
+	}
+	// Writer must wait and time out while the reader is open (rdd full
+	// serialization at open time).
+	wurl := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	if _, err := sessA.OpenWrite(wurl); !errors.Is(err, fs.ErrLocked) {
+		t.Fatalf("write during read = %v, want busy", err)
+	}
+	rf.Close()
+	wf, err := sessA.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("write after reader closed: %v", err)
+	}
+	wf.WriteAll([]byte("v1"))
+	if err := wf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestUnlinkRejectedWhileOpen(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	sess := sys.NewSession(alice)
+	rf, err := sess.OpenRead(urlFor(t, sys, "DLURLCOMPLETE"))
+	if err != nil {
+		t.Fatalf("open read: %v", err)
+	}
+	if _, err := sys.DB.Exec(`DELETE FROM movies WHERE id = 1`); err == nil {
+		t.Fatal("unlink succeeded while the file was open for read")
+	}
+	rf.Close()
+	if _, err := sys.DB.Exec(`DELETE FROM movies WHERE id = 1`); err != nil {
+		t.Fatalf("unlink after close: %v", err)
+	}
+	// After unlink the file is unprotected again.
+	srv, _ := sys.Server("fs1")
+	if srv.DLFM.IsLinked("/movies/clip1.mpg") {
+		t.Fatal("file still linked after delete")
+	}
+	ino, _ := srv.Phys.Lookup("/movies/clip1.mpg")
+	attr, _ := srv.Phys.Getattr(ino)
+	if attr.UID != alice || attr.Mode != 0o644 {
+		t.Fatalf("permissions not restored after unlink: uid=%d mode=%o", attr.UID, attr.Mode)
+	}
+}
+
+func TestRemoveRenameRejectedForLinkedFiles(t *testing.T) {
+	sys, srv := newSys(t, "rff")
+	sess := sys.NewSession(alice)
+	_ = sess
+	// rff: reads and writes stay with the FS, but remove/rename of the
+	// linked file is rejected — no dangling pointers.
+	if err := srv.LFS.Remove(fs.Cred{UID: alice}, "/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("remove linked = %v, want rejection", err)
+	}
+	if err := srv.LFS.Rename(fs.Cred{UID: alice}, "/movies/clip1.mpg", "/movies/other.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("rename linked = %v, want rejection", err)
+	}
+	// Unlinked files pass through.
+	srv.Phys.WriteFile("/movies/free.dat", []byte("x"))
+	if err := srv.LFS.Remove(fs.Cred{UID: fs.Root}, "/movies/free.dat"); err != nil {
+		t.Fatalf("remove unlinked: %v", err)
+	}
+	// Renaming onto a linked file is rejected too.
+	srv.Phys.WriteFile("/movies/new.dat", []byte("y"))
+	if err := srv.LFS.Rename(fs.Cred{UID: fs.Root}, "/movies/new.dat", "/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("rename onto linked = %v, want rejection", err)
+	}
+}
+
+func TestRFBWritesBlocked(t *testing.T) {
+	sys, _ := newSys(t, "rfb")
+	sess := sys.NewSession(alice)
+	// Even the owner cannot write an rfb file, and there are no write tokens.
+	if _, err := sess.OpenWrite("dlfs://fs1/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("rfb write = %v, want permission denied", err)
+	}
+	if _, err := sys.DB.Query(`SELECT DLURLCOMPLETEWRITE(clip) FROM movies WHERE id = 1`); err == nil {
+		t.Fatal("write token issued for rfb-linked file")
+	}
+	// Reads are free (FS-controlled).
+	f, err := sess.OpenRead("dlfs://fs1/movies/clip1.mpg")
+	if err != nil {
+		t.Fatalf("rfb read: %v", err)
+	}
+	f.Close()
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := &now
+	sys, err := NewSystem(Config{
+		Servers:  []ServerConfig{{Name: "fs1"}},
+		Clock:    func() time.Time { return *clock },
+		TokenTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+	srv, _ := sys.Server("fs1")
+	srv.Phys.MkdirAll("/d", fs.Cred{UID: fs.Root}, 0o777)
+	srv.Phys.WriteFile("/d/f", []byte("x"))
+	sys.DB.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY YES)`)
+	sys.DB.MustExec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f'))`)
+	row, err := sys.DB.QueryRow(`SELECT DLURLCOMPLETE(doc) FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("token: %v", err)
+	}
+	url := row[0].S
+	// Let the token expire.
+	*clock = now.Add(2 * time.Minute)
+	sess := sys.NewSession(alice)
+	if _, err := sess.OpenRead(url); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("expired token = %v, want rejection", err)
+	}
+}
+
+func TestCrashRecoveryRestoresInFlightUpdate(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	_ = srv
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	f.WriteAll([]byte("half-written update that never committed"))
+	// Crash the file server with the update in flight.
+	rep, err := sys.CrashAndRecoverServer("fs1")
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(rep.RestoredFiles) != 1 || rep.RestoredFiles[0] != "/movies/clip1.mpg" {
+		t.Fatalf("restored = %v", rep.RestoredFiles)
+	}
+	newSrv, _ := sys.Server("fs1")
+	data, _ := newSrv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v0 content" {
+		t.Fatalf("content after crash recovery = %q, want v0", data)
+	}
+	// The in-flight version is quarantined, the file usable again.
+	names, _ := newSrv.Phys.ReadDir("/lost+found")
+	if len(names) != 1 {
+		t.Fatalf("quarantine after recovery = %v", names)
+	}
+	sess2 := sys.NewSession(alice)
+	f2, err := sess2.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open after recovery: %v", err)
+	}
+	f2.WriteAll([]byte("v1 after recovery"))
+	if err := f2.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	newSrv.DLFM.WaitArchives()
+	data, _ = newSrv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v1 after recovery" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+func TestCrashRecoveryKeepsCommittedUpdate(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	f, _ := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	f.WriteAll([]byte("v1 committed"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv.DLFM.WaitArchives()
+	if _, err := sys.CrashAndRecoverServer("fs1"); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	newSrv, _ := sys.Server("fs1")
+	data, _ := newSrv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v1 committed" {
+		t.Fatalf("committed content lost in recovery: %q", data)
+	}
+}
+
+func TestPointInTimeRestore(t *testing.T) {
+	sys, srv := newSys(t, "rdd")
+	sess := sys.NewSession(alice)
+	var states []uint64
+	var contents = []string{"v0 content"}
+	states = append(states, sys.Engine.StateID())
+	for i := 1; i <= 3; i++ {
+		f, err := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		content := strings.Repeat("x", i) + " version"
+		f.WriteAll([]byte(content))
+		if err := f.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+		srv.DLFM.WaitArchives()
+		states = append(states, sys.Engine.StateID())
+		contents = append(contents, content)
+	}
+	// Restore to each captured state and verify both halves agree.
+	for i := len(states) - 1; i >= 1; i-- {
+		if err := sys.Engine.RestoreToState(states[i]); err != nil {
+			t.Fatalf("restore to state %d: %v", states[i], err)
+		}
+		data, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+		if string(data) != contents[i] {
+			t.Fatalf("restore %d: content = %q, want %q", i, data, contents[i])
+		}
+		// The database half still references the clip.
+		row, err := sys.Engine.DB().QueryRow(`SELECT COUNT(*) FROM movies`)
+		if err != nil || row[0].I != 1 {
+			t.Fatalf("restored db rows = %v, %v", row, err)
+		}
+	}
+}
+
+func TestUserTxnMultiFile(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	srv.Phys.WriteFile("/movies/clip2.mpg", []byte("c2 v0"))
+	sys.DB.MustExec(`INSERT INTO movies (id, title, clip) VALUES (2, 'Metropolis', DLVALUE('dlfs://fs1/movies/clip2.mpg'))`)
+
+	sess := sys.NewSession(alice)
+	u := sess.BeginUserTxn()
+	r1, _ := sys.DB.QueryRow(`SELECT DLURLCOMPLETEWRITE(clip) FROM movies WHERE id = 1`)
+	r2, _ := sys.DB.QueryRow(`SELECT DLURLCOMPLETEWRITE(clip) FROM movies WHERE id = 2`)
+	f1, err := u.OpenWrite(r1[0].S)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	f2, err := u.OpenWrite(r2[0].S)
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	f1.WriteAll([]byte("c1 v1"))
+	f2.WriteAll([]byte("c2 v1"))
+	if err := u.Commit(); err != nil {
+		t.Fatalf("user txn commit: %v", err)
+	}
+	d1, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+	d2, _ := srv.Phys.ReadFile("/movies/clip2.mpg")
+	if string(d1) != "c1 v1" || string(d2) != "c2 v1" {
+		t.Fatalf("contents = %q, %q", d1, d2)
+	}
+}
+
+func TestUserTxnAbort(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	u := sess.BeginUserTxn()
+	f, err := u.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.WriteAll([]byte("garbage"))
+	if err := u.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	data, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v0 content" {
+		t.Fatalf("content after user txn abort = %q", data)
+	}
+}
+
+func TestUnmodifiedCloseCreatesNoVersion(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// No write happens.
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv.DLFM.WaitArchives()
+	versions := srv.Archive.Versions("fs1", "/movies/clip1.mpg")
+	if len(versions) != 1 {
+		t.Fatalf("unmodified close created a version: %+v", versions)
+	}
+}
+
+func TestStrictModeClosesLinkWindow(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Servers: []ServerConfig{{Name: "fs1", Strict: true, OpenWait: 200 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+	srv, _ := sys.Server("fs1")
+	srv.Phys.MkdirAll("/d", fs.Cred{UID: fs.Root}, 0o777)
+	srv.Phys.WriteFile("/d/f", []byte("x"))
+	sys.DB.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, doc DATALINK MODE RDD)`)
+
+	// Open the (unlinked) file, then try to link it: strict mode rejects.
+	fd, err := srv.LFS.Open(fs.Cred{UID: alice}, "/d/f", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := sys.DB.Exec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f'))`); err == nil {
+		t.Fatal("strict mode allowed linking an open file")
+	}
+	srv.LFS.Close(fd)
+	if _, err := sys.DB.Exec(`INSERT INTO t VALUES (1, DLVALUE('dlfs://fs1/d/f'))`); err != nil {
+		t.Fatalf("link after close: %v", err)
+	}
+}
+
+func TestLinkWindowExistsWithoutStrict(t *testing.T) {
+	sys, srv := newSys(t, "rdd")
+	// Default (non-strict) system: linking an open file succeeds — the §4.5
+	// window of inconsistency the paper leaves open.
+	srv.Phys.WriteFile("/movies/open.dat", []byte("x"))
+	fd, err := srv.LFS.Open(fs.Cred{UID: alice}, "/movies/open.dat", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := sys.DB.Exec(`INSERT INTO movies (id, title, clip) VALUES (9, 'w', DLVALUE('dlfs://fs1/movies/open.dat'))`); err != nil {
+		t.Fatalf("link while open (window) should succeed: %v", err)
+	}
+	srv.LFS.Close(fd)
+}
+
+func TestMetadataCompanionColumnsOptional(t *testing.T) {
+	// A table without clip_size/clip_mtime columns still commits updates.
+	sys, err := NewSystem(Config{Servers: []ServerConfig{{Name: "fs1"}}})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	srv, _ := sys.Server("fs1")
+	srv.Phys.MkdirAll("/d", fs.Cred{UID: fs.Root}, 0o777)
+	srv.Phys.WriteFile("/d/f", []byte("x"))
+	sys.DB.MustExec(`CREATE TABLE bare (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES)`)
+	sys.DB.MustExec(`INSERT INTO bare VALUES (1, DLVALUE('dlfs://fs1/d/f'))`)
+	row, _ := sys.DB.QueryRow(`SELECT DLURLCOMPLETEWRITE(doc) FROM bare WHERE id = 1`)
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(row[0].S)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.WriteAll([]byte("xy"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestTokenIsPerUserID(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	url := urlFor(t, sys, "DLURLCOMPLETE")
+	// Alice validates the token (lookup), creating a token entry under her
+	// uid. Bob never presented a token: opening without one fails for him
+	// even after alice's entry exists.
+	aliceSess := sys.NewSession(alice)
+	f, err := aliceSess.OpenRead(url)
+	if err != nil {
+		t.Fatalf("alice open: %v", err)
+	}
+	f.Close()
+	bobSess := sys.NewSession(bob)
+	if _, err := bobSess.OpenRead("dlfs://fs1/movies/clip1.mpg"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("bob tokenless open = %v, want rejection", err)
+	}
+	// But processes sharing alice's uid are covered by her entry (§4.1).
+	aliceTwin := sys.NewSession(alice)
+	f2, err := aliceTwin.OpenRead("dlfs://fs1/movies/clip1.mpg")
+	if err != nil {
+		t.Fatalf("same-uid open via token entry: %v", err)
+	}
+	f2.Close()
+}
+
+func TestHostCrashRecoveryOutcomeResolution(t *testing.T) {
+	// A committed update must survive a crash and restart of both machines.
+	sys, srv := newSys(t, "rfd")
+	_ = srv
+	sess := sys.NewSession(alice)
+	f, _ := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	f.WriteAll([]byte("v1 committed"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv.DLFM.WaitArchives()
+
+	// Crash both: the host database and the file server.
+	if err := sys.RecoverHost(); err != nil {
+		t.Fatalf("host recovery: %v", err)
+	}
+	if _, err := sys.CrashAndRecoverServer("fs1"); err != nil {
+		t.Fatalf("server recovery: %v", err)
+	}
+	newSrv, _ := sys.Server("fs1")
+	data, _ := newSrv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "v1 committed" {
+		t.Fatalf("content after double recovery = %q", data)
+	}
+	// The committed metadata survived host recovery.
+	row, err := sys.DB.QueryRow(`SELECT clip_size FROM movies WHERE id = 1`)
+	if err != nil || row[0].I != int64(len("v1 committed")) {
+		t.Fatalf("metadata after recovery = %v, %v", row, err)
+	}
+}
+
+func TestSQLVisibleState(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	rows, err := sys.DB.Query(`SELECT DLURLPATHONLY(clip), DLURLSERVER(clip) FROM movies WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if rows.Data[0][0].S != "/movies/clip1.mpg" || rows.Data[0][1].S != "fs1" {
+		t.Fatalf("scalar fns = %+v", rows.Data[0])
+	}
+	var _ sqlmini.Row // keep import
+}

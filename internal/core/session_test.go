@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"datalinks/internal/fs"
+)
+
+// Additional File/Session surface tests: positional IO, truncation, abort
+// edge cases.
+
+func TestFilePositionalIO(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	_ = srv
+	sess := sys.NewSession(alice)
+	wurl := urlFor(t, sys, "DLURLCOMPLETEWRITE")
+	f, err := sess.OpenWrite(wurl)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Sequential writes move the offset; WriteAt does not.
+	if _, err := f.Write([]byte("AAAA")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := f.WriteAt(1, []byte("B")); err != nil {
+		t.Fatalf("writeat: %v", err)
+	}
+	if _, err := f.Write([]byte("CC")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := f.SeekTo(0); err != nil {
+		t.Fatalf("seek: %v", err)
+	}
+	buf := make([]byte, 6)
+	n, err := f.Read(buf)
+	if err != nil || string(buf[:n]) != "ABAACC" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestFileTruncateShrinks(t *testing.T) {
+	sys, srv := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := f.WriteAll([]byte("tiny")); err != nil { // shrinks from "v0 content"
+		t.Fatalf("writeall: %v", err)
+	}
+	attr, _ := f.Stat()
+	if attr.Size != 4 {
+		t.Fatalf("size = %d", attr.Size)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, _ := srv.Phys.ReadFile("/movies/clip1.mpg")
+	if string(data) != "tiny" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+func TestTruncateOnReadHandleDenied(t *testing.T) {
+	sys, _ := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	f, err := sess.OpenRead("dlfs://fs1/movies/clip1.mpg")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(1); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("truncate on read handle = %v", err)
+	}
+}
+
+func TestAbortEdgeCases(t *testing.T) {
+	sys, _ := newSys(t, "rfd")
+	sess := sys.NewSession(alice)
+	// Abort on a read handle is an error.
+	rf, err := sess.OpenRead("dlfs://fs1/movies/clip1.mpg")
+	if err != nil {
+		t.Fatalf("open read: %v", err)
+	}
+	if err := rf.Abort(); err == nil {
+		t.Fatal("abort of read open accepted")
+	}
+	rf.Close()
+	// Double abort is an error; close after abort is clean.
+	wf, err := sess.OpenWrite(urlFor(t, sys, "DLURLCOMPLETEWRITE"))
+	if err != nil {
+		t.Fatalf("open write: %v", err)
+	}
+	wf.WriteAll([]byte("x"))
+	if err := wf.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if err := wf.Abort(); err == nil {
+		t.Fatal("double abort accepted")
+	}
+	if err := wf.Close(); err != nil {
+		t.Fatalf("close after abort should be clean: %v", err)
+	}
+}
+
+func TestSessionCredAndServerNames(t *testing.T) {
+	sys, _ := newSys(t, "rff")
+	sess := sys.NewSession(alice)
+	if sess.Cred().UID != alice {
+		t.Fatalf("cred = %+v", sess.Cred())
+	}
+	names := sys.ServerNames()
+	if len(names) != 1 || names[0] != "fs1" {
+		t.Fatalf("servers = %v", names)
+	}
+	if _, err := sys.Server("missing"); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	if _, err := sys.CrashAndRecoverServer("missing"); err == nil {
+		t.Fatal("crash of unknown server accepted")
+	}
+}
+
+func TestOpenBadURL(t *testing.T) {
+	sys, _ := newSys(t, "rff")
+	sess := sys.NewSession(alice)
+	if _, err := sess.OpenRead("http://wrong/scheme"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := sess.OpenRead("dlfs://unknown-server/p"); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+	if _, err := sess.OpenRead("dlfs://fs1/does/not/exist"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("missing file should be ErrNotExist")
+	}
+}
+
+func TestUserTxnAfterFinish(t *testing.T) {
+	sys, _ := newSys(t, "rfd")
+	u := sys.NewSession(alice).BeginUserTxn()
+	if err := u.Commit(); err != nil {
+		t.Fatalf("empty commit: %v", err)
+	}
+	if _, err := u.OpenWrite("dlfs://fs1/movies/clip1.mpg"); err == nil {
+		t.Fatal("open on finished user txn accepted")
+	}
+	if err := u.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	if err := u.Abort(); err == nil {
+		t.Fatal("abort after commit accepted")
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	sys, _ := newSys(t, "rdd")
+	m := sys.Metrics()
+	for _, key := range []string{"engine", "dlfm:fs1", "dlfs:fs1", "upcall:fs1"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("missing metrics registry %q", key)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package dlfm
+
+import (
+	"fmt"
+	"time"
+
+	"datalinks/internal/fs"
+	"datalinks/internal/token"
+	"datalinks/internal/upcall"
+)
+
+// The upcall daemon (§2.2): services requests from DLFS to validate tokens
+// and verify access permissions of linked files. This file implements the
+// access-control half (§4.1) and the Sync-table bookkeeping (§4.5); the
+// update-transaction half (write opens and closes, §4.2–4.4) is in
+// update.go.
+
+var _ upcall.Service = (*Server)(nil)
+
+// Upcall dispatches one request from DLFS.
+func (s *Server) Upcall(req upcall.Request) (upcall.Response, error) {
+	s.cfg.Metrics.Counter("dlfm.upcall." + req.Op.String()).Inc()
+	switch req.Op {
+	case upcall.OpValidateToken:
+		return s.validateToken(req), nil
+	case upcall.OpReadOpen:
+		return s.readOpen(req), nil
+	case upcall.OpWriteOpen:
+		return s.writeOpen(req), nil
+	case upcall.OpClose:
+		return s.closeFile(req), nil
+	case upcall.OpCheckRemove, upcall.OpCheckRename:
+		return s.checkRemoveRename(req), nil
+	default:
+		return reject(upcall.CodeInternal, fmt.Sprintf("unknown upcall op %d", req.Op)), nil
+	}
+}
+
+func reject(code upcall.Code, msg string) upcall.Response {
+	return upcall.Response{OK: false, Code: code, Err: msg}
+}
+
+// validateToken handles the fs_lookup upcall: verify the embedded token and
+// record a token entry for the user (§4.1). The entry — not the token — is
+// what fs_open later checks, bridging the lookup/open decoupling.
+func (s *Server) validateToken(req upcall.Request) upcall.Response {
+	tok, err := s.auth.Validate(req.Token, req.Path)
+	if err != nil {
+		return reject(upcall.CodeBadToken, fmt.Sprintf("token rejected for %s: %v", req.Path, err))
+	}
+	s.mu.Lock()
+	key := tokenKey{uid: fs.UID(req.UID), path: req.Path}
+	// Keep the strongest live grant: a write token subsumes a read token.
+	if cur, ok := s.tokens[key]; !ok || tok.Type.Covers(cur.typ) {
+		s.tokens[key] = tokenEntry{typ: tok.Type, expiry: tok.Expiry}
+	}
+	s.mu.Unlock()
+	return upcall.Response{OK: true}
+}
+
+// tokenGrant returns the live token entry for (uid, path), if any.
+func (s *Server) tokenGrant(uid fs.UID, path string) (tokenEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.tokens[tokenKey{uid: uid, path: path}]
+	if !ok {
+		return tokenEntry{}, false
+	}
+	if s.cfg.Clock().After(e.expiry) {
+		delete(s.tokens, tokenKey{uid: uid, path: path})
+		return tokenEntry{}, false
+	}
+	return e, true
+}
+
+// readOpen handles the fs_open upcall for read access to a file under full
+// database control (and, with the strict-link-check extension, any file).
+func (s *Server) readOpen(req upcall.Request) upcall.Response {
+	fi, linked := s.lookupFile(req.Path)
+	if !linked {
+		if !req.Strict {
+			return reject(upcall.CodeNotLinked, req.Path+" is not linked")
+		}
+		// Strict extension (§4.5 future work): register the open of an
+		// unlinked file so a concurrent link transaction can detect it.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
+		s.syncFor(req.Path).readers[id] = true
+		s.cfg.Metrics.Counter("dlfm.open.read.strict").Inc()
+		return upcall.Response{OK: true, OpenID: id}
+	}
+	if fi.mode.ReadNeedsToken() {
+		grant, ok := s.tokenGrant(fs.UID(req.UID), req.Path)
+		if !ok || !grant.typ.Covers(token.Read) {
+			return reject(upcall.CodePermission, "no valid read token entry for "+req.Path)
+		}
+	} else if !fi.mode.FullControl() {
+		// A read upcall for a partial-control file happens only when DLFM has
+		// taken the file over for an in-place update (rfd): the paper's
+		// design rejects such reads — read/write serialization without read
+		// locks (§4.2). With strict mode the file may simply be idle.
+		s.mu.Lock()
+		st := s.syncFor(req.Path)
+		writerActive := st.writer != 0
+		if writerActive || !req.Strict {
+			s.mu.Unlock()
+			return reject(upcall.CodePermission, req.Path+" is taken over for update")
+		}
+		id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
+		st.readers[id] = true
+		s.mu.Unlock()
+		s.cfg.Metrics.Counter("dlfm.open.read.strict").Inc()
+		return upcall.Response{OK: true, OpenID: id}
+	}
+	// Serialize against writers for full-control files: a reader must not
+	// observe an in-flight update (§4.2).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.waitLocked(req.Path, func(st *syncState) bool { return st.writer == 0 }) {
+		return reject(upcall.CodeBusy, req.Path+" is being updated")
+	}
+	id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
+	st := s.syncFor(req.Path)
+	st.readers[id] = true
+	s.cfg.Metrics.Counter("dlfm.open.read").Inc()
+	return upcall.Response{OK: true, OpenID: id, TakeOver: fi.mode.FullControl()}
+}
+
+// checkRemoveRename rejects user-level remove/rename of linked files: the
+// referential-integrity guarantee ("no dangling pointers", §2.3).
+func (s *Server) checkRemoveRename(req upcall.Request) upcall.Response {
+	if _, linked := s.lookupFile(req.Path); linked {
+		return reject(upcall.CodeIntegrity, req.Path+" is linked to the database")
+	}
+	if req.Op == upcall.OpCheckRename && req.NewPath != "" {
+		// Renaming *onto* a linked file would also destroy it.
+		if _, linked := s.lookupFile(req.NewPath); linked {
+			return reject(upcall.CodeIntegrity, req.NewPath+" is linked to the database")
+		}
+	}
+	return upcall.Response{OK: true}
+}
+
+// newOpenLocked allocates an open state. Caller holds s.mu.
+func (s *Server) newOpenLocked(path string, uid fs.UID, write bool) uint64 {
+	s.nextOpen++
+	id := s.nextOpen
+	st := &openState{id: id, path: path, uid: uid, write: write}
+	if node, err := s.cfg.Phys.Lookup(path); err == nil {
+		if attr, err := s.cfg.Phys.Getattr(node); err == nil {
+			st.mtime = attr.Mtime
+		}
+	}
+	s.opens[id] = st
+	return id
+}
+
+// syncFor returns the sync state for a path, creating it. Caller holds s.mu.
+func (s *Server) syncFor(path string) *syncState {
+	st, ok := s.syncs[path]
+	if !ok {
+		st = &syncState{readers: make(map[uint64]bool)}
+		s.syncs[path] = st
+	}
+	return st
+}
+
+// waitLocked blocks (holding s.mu via the condition variable) until pred
+// holds for the path's sync state and no archive is in flight, or the
+// configured open-wait deadline passes. Returns false on timeout.
+func (s *Server) waitLocked(path string, pred func(*syncState) bool) bool {
+	deadline := time.Now().Add(s.cfg.OpenWait)
+	for {
+		st := s.syncFor(path)
+		if pred(st) && !s.archiving[path] {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		// Timed wait: poke the condition variable after a short interval so
+		// deadline expiry is noticed even with no state change.
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-done:
+			case <-time.After(10 * time.Millisecond):
+				s.cond.Broadcast()
+			}
+		}()
+		s.cond.Wait()
+		close(done)
+	}
+}
+
+// OpenCount reports live opens (tests and status tooling).
+func (s *Server) OpenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.opens)
+}
+
+// SyncEntries reports the Sync-table view for a path: reader count and
+// whether a writer holds it (§4.5).
+func (s *Server) SyncEntries(path string) (readers int, writer bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.syncs[path]
+	if !ok {
+		return 0, false
+	}
+	return len(st.readers), st.writer != 0
+}
+
+// TokenEntryCount reports live token entries (tests).
+func (s *Server) TokenEntryCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tokens)
+}

@@ -1,0 +1,370 @@
+// Package dlfm implements the DataLinks File Manager of §2.2 and §4: the
+// user-space daemon on each file server that owns the DataLinks repository,
+// executes link/unlink as sub-transactions of host database transactions
+// (two-phase commit), services upcalls from DLFS (token validation, open and
+// close processing), coordinates in-place update transactions, drives the
+// archiver, and recovers all of it after a crash.
+//
+// The repository is itself a transactional database (an instance of
+// internal/sqlmini with its own WAL) — mirroring the real DLFM, which was
+// built as a transactional resource manager [Hsiao & Narang, SIGMOD 2000].
+package dlfm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datalinks/internal/archive"
+	"datalinks/internal/datalink"
+	"datalinks/internal/fs"
+	"datalinks/internal/metrics"
+	"datalinks/internal/sqlmini"
+	"datalinks/internal/token"
+	"datalinks/internal/wal"
+)
+
+// DefaultUID is the well-known uid the DLFM process runs as; file takeover
+// (§4) transfers ownership to this uid.
+const DefaultUID fs.UID = 777
+
+// DefaultQuarantineDir is where in-flight versions of rolled-back updates
+// are moved (§4.2: "the in-flight version of the file is moved to a
+// temporary directory").
+const DefaultQuarantineDir = "/lost+found"
+
+// Host is the interface back to the host database's DataLinks engine. DLFM
+// uses it to run the metadata half of a file-update transaction (§4.3) and
+// to resolve in-doubt sub-transactions after a restart.
+type Host interface {
+	// MetaUpdate runs, in a fresh host transaction with sub enlisted as a
+	// 2PC participant, the automatic metadata update for a committed file
+	// update (size and modification time, §4.3). It returns the host
+	// database state identifier of the committed transaction (§4.4).
+	MetaUpdate(server, path string, size int64, mtime time.Time, sub sqlmini.XRM) (uint64, error)
+	// TxnOutcome reports whether host transaction txnID committed. known is
+	// false while the outcome is undecided.
+	TxnOutcome(txnID uint64) (committed, known bool)
+	// StateID returns the current host database state identifier.
+	StateID() uint64
+}
+
+// Config configures a DLFM server.
+type Config struct {
+	Name       string // file server name (the DATALINK URL authority)
+	Phys       *fs.FS // physical file system of this server
+	Archive    *archive.Store
+	Host       Host
+	TokenKey   []byte // shared secret with the DataLinks engine
+	Clock      func() time.Time
+	UID        fs.UID // DLFM process uid; DefaultUID if zero
+	Quarantine string
+	// OpenWait bounds how long write-open approval waits for conflicting
+	// opens and pending archives before returning CodeBusy.
+	OpenWait time.Duration
+	TokenTTL time.Duration
+	// RepoLog reuses an existing repository log (restart recovery).
+	RepoLog *wal.Log
+	Metrics *metrics.Registry
+}
+
+// openState tracks one approved open between its open and close upcalls.
+type openState struct {
+	id      uint64
+	path    string
+	uid     fs.UID
+	write   bool
+	mtime   time.Time // file mtime at open (modification detection, §4.4)
+	hostTxn uint64    // file-update transactions bind to a host txn at close
+}
+
+// syncState is the in-memory image of the Sync table rows for one file
+// (§4.5). Entries are volatile: a crash ends every open.
+type syncState struct {
+	readers map[uint64]bool // openID set
+	writer  uint64          // openID, 0 if none
+}
+
+// takeoverState remembers the pre-takeover identity of a file (§4.2).
+type takeoverState struct {
+	origUID  fs.UID
+	origMode fs.FileMode
+}
+
+// tokenKey identifies a token entry: the paper stores entries per *userid*,
+// not per process (§4.1).
+type tokenKey struct {
+	uid  fs.UID
+	path string
+}
+
+// tokenEntry is a validated token registered by the upcall daemon.
+type tokenEntry struct {
+	typ    token.Type
+	expiry time.Time
+}
+
+// subTxn is a repository sub-transaction bound to a host transaction.
+type subTxn struct {
+	repo  *sqlmini.Txn
+	comps []compensation // file system compensation actions
+}
+
+// compensation reverses or applies a file-system side effect depending on
+// the transaction outcome.
+type compensation struct {
+	onAbort  func() error // run if the host transaction aborts
+	onCommit func() error // run once the host transaction commits
+}
+
+// Server is a DLFM instance. One per file server.
+type Server struct {
+	cfg  Config
+	repo *sqlmini.DB
+	auth *token.Authority
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	tokens      map[tokenKey]tokenEntry
+	syncs       map[string]*syncState
+	opens       map[uint64]*openState
+	takeovers   map[string]*takeoverState
+	archiving   map[string]bool // path -> archive job in flight
+	subs        map[uint64]*subTxn
+	nextOpen    uint64
+	nextJournal int64
+	agents      int64
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a DLFM server with a fresh repository.
+func New(cfg Config) (*Server, error) {
+	if cfg.Phys == nil || cfg.Archive == nil {
+		return nil, errors.New("dlfm: Phys and Archive are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.UID == 0 {
+		cfg.UID = DefaultUID
+	}
+	if cfg.Quarantine == "" {
+		cfg.Quarantine = DefaultQuarantineDir
+	}
+	if cfg.OpenWait <= 0 {
+		cfg.OpenWait = 5 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	repo := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, Log: cfg.RepoLog, LockTimeout: cfg.OpenWait})
+	s := &Server{
+		cfg:       cfg,
+		repo:      repo,
+		auth:      token.NewAuthority(cfg.TokenKey, cfg.Clock, cfg.TokenTTL),
+		tokens:    make(map[tokenKey]tokenEntry),
+		syncs:     make(map[string]*syncState),
+		opens:     make(map[uint64]*openState),
+		takeovers: make(map[string]*takeoverState),
+		archiving: make(map[string]bool),
+		subs:      make(map[uint64]*subTxn),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.RepoLog == nil {
+		if err := s.createRepoTables(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Phys.MkdirAll(cfg.Quarantine, fs.Cred{UID: fs.Root}, 0o700); err != nil {
+		return nil, fmt.Errorf("dlfm: quarantine dir: %w", err)
+	}
+	return s, nil
+}
+
+// createRepoTables creates the DLFM repository schema.
+func (s *Server) createRepoTables() error {
+	stmts := []string{
+		// Linked files and the identity needed to undo a takeover.
+		`CREATE TABLE dlfm_files (
+			path VARCHAR PRIMARY KEY,
+			mode VARCHAR NOT NULL,
+			recovery BOOLEAN NOT NULL,
+			token_ttl INT,
+			orig_uid INT NOT NULL,
+			orig_mode INT NOT NULL,
+			cur_version INT NOT NULL
+		)`,
+		// Files with an update transaction in flight (§4.4: "an entry
+		// indicating that the file is being updated").
+		`CREATE TABLE dlfm_updates (path VARCHAR PRIMARY KEY, open_id INT NOT NULL)`,
+		// Committed versions whose archive copy has not completed yet.
+		`CREATE TABLE dlfm_pending_archive (path VARCHAR PRIMARY KEY, version INT NOT NULL, state_id INT NOT NULL)`,
+		// Sub-transaction journal for 2PC recovery: one row per file-system
+		// side effect of a link/unlink sub-transaction.
+		`CREATE TABLE dlfm_txns (
+			id INT PRIMARY KEY,
+			repo_txn INT NOT NULL,
+			host_txn INT NOT NULL,
+			action VARCHAR NOT NULL,
+			path VARCHAR NOT NULL,
+			orig_uid INT NOT NULL,
+			orig_mode INT NOT NULL,
+			recovery BOOLEAN NOT NULL
+		)`,
+	}
+	for _, stmt := range stmts {
+		if _, err := s.repo.Exec(stmt); err != nil {
+			return fmt.Errorf("dlfm: repo schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// Name returns the file server name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Authority exposes the token authority (the engine shares the key instead
+// in a real deployment; tests use this for forged-token scenarios).
+func (s *Server) Authority() *token.Authority { return s.auth }
+
+// Repo exposes the repository database (inspection and tests).
+func (s *Server) Repo() *sqlmini.DB { return s.repo }
+
+// UID returns the uid DLFM runs as.
+func (s *Server) UID() fs.UID { return s.cfg.UID }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// ConnectAgent mirrors the main-daemon/child-agent structure of §2.2: each
+// database agent connection gets a child agent. Functionally the agent is a
+// thin handle; the call counting feeds the F1 architecture figure.
+func (s *Server) ConnectAgent() *Agent {
+	s.mu.Lock()
+	s.agents++
+	n := s.agents
+	s.mu.Unlock()
+	s.cfg.Metrics.Counter("dlfm.agents").Inc()
+	return &Agent{srv: s, id: n}
+}
+
+// AgentCount reports how many child agents have been spawned.
+func (s *Server) AgentCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agents
+}
+
+// Agent is a child agent serving one DataLinks engine connection.
+type Agent struct {
+	srv *Server
+	id  int64
+}
+
+// ID returns the agent's index.
+func (a *Agent) ID() int64 { return a.id }
+
+// Server returns the owning DLFM.
+func (a *Agent) Server() *Server { return a.srv }
+
+// LinkFile forwards to the server's link processing.
+func (a *Agent) LinkFile(hostTxn uint64, path string, opts datalink.ColumnOptions) error {
+	return a.srv.LinkFile(hostTxn, path, opts)
+}
+
+// UnlinkFile forwards to the server's unlink processing.
+func (a *Agent) UnlinkFile(hostTxn uint64, path string) error {
+	return a.srv.UnlinkFile(hostTxn, path)
+}
+
+// Close waits for background work (archiver goroutines) to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// fileInfo is the decoded dlfm_files row.
+type fileInfo struct {
+	path     string
+	mode     datalink.ControlMode
+	recovery bool
+	tokenTTL int
+	origUID  fs.UID
+	origMode fs.FileMode
+	version  archive.Version
+}
+
+// lookupFile reads a file's repository row outside any transaction (the
+// upcall path must not block on link transactions in progress; it sees the
+// current committed-or-eager state, which is exactly the §4.5 window).
+func (s *Server) lookupFile(path string) (fileInfo, bool) {
+	tbl, err := s.repo.Table("dlfm_files")
+	if err != nil {
+		return fileInfo{}, false
+	}
+	id, ok := tbl.LookupPK(sqlmini.Str(path))
+	if !ok {
+		return fileInfo{}, false
+	}
+	row, ok := tbl.Get(id)
+	if !ok {
+		return fileInfo{}, false
+	}
+	return decodeFileRow(row), true
+}
+
+func decodeFileRow(row sqlmini.Row) fileInfo {
+	mode, _ := datalink.ParseMode(row[1].S)
+	return fileInfo{
+		path:     row[0].S,
+		mode:     mode,
+		recovery: row[2].B,
+		tokenTTL: int(row[3].I),
+		origUID:  fs.UID(row[4].I),
+		origMode: fs.FileMode(row[5].I),
+		version:  archive.Version(row[6].I),
+	}
+}
+
+// ReadFileContent returns the current content of a file on this server —
+// the engine uses it to feed content-derived metadata hooks (§4.3's
+// "content specific attributes", left as future research in the paper and
+// implemented here as an extension).
+func (s *Server) ReadFileContent(path string) ([]byte, error) {
+	return s.cfg.Phys.ReadFile(path)
+}
+
+// LinkedFiles lists every linked path (admin/status tooling).
+func (s *Server) LinkedFiles() []string {
+	tbl, err := s.repo.Table("dlfm_files")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+		out = append(out, row[0].S)
+		return true
+	})
+	return out
+}
+
+// IsLinked reports whether a path is currently linked.
+func (s *Server) IsLinked(path string) bool {
+	_, ok := s.lookupFile(path)
+	return ok
+}
+
+// FileMode returns the control mode a path is linked under.
+func (s *Server) FileMode(path string) (datalink.ControlMode, bool) {
+	fi, ok := s.lookupFile(path)
+	return fi.mode, ok
+}
+
+// rootCred is the credential DLFM uses for its own file operations; the
+// daemon runs with system privileges on its file server.
+var rootCred = fs.Cred{UID: fs.Root}

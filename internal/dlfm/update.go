@@ -1,0 +1,433 @@
+package dlfm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datalinks/internal/archive"
+	"datalinks/internal/fs"
+	"datalinks/internal/sqlmini"
+	"datalinks/internal/token"
+	"datalinks/internal/upcall"
+)
+
+// The update-in-place algorithm (§4): a file's open-for-write begins a
+// file-update transaction and its close commits it. The commit is a
+// two-phase commit between the DLFM repository (version bookkeeping) and the
+// host database (automatic size/mtime metadata update, §4.3). Abort — or a
+// crash — restores the last committed version from the archive and moves the
+// in-flight content to a quarantine directory (§4.2).
+
+// writeOpen handles the fs_open upcall for write access. For rfd files DLFS
+// reaches here only after the native open failed with EACCES (the file was
+// made read-only at link time) — the paper's lazy path that keeps unlinked
+// and read traffic free of upcalls.
+func (s *Server) writeOpen(req upcall.Request) upcall.Response {
+	fi, linked := s.lookupFile(req.Path)
+	if !linked {
+		return reject(upcall.CodeNotLinked, req.Path+" is not linked")
+	}
+	if !fi.mode.UpdateManaged() {
+		// rfb/rdb block writes entirely; rff writes never reach DLFM.
+		return reject(upcall.CodePermission,
+			fmt.Sprintf("%s is linked in %s mode: writes are blocked", req.Path, fi.mode))
+	}
+	grant, ok := s.tokenGrant(fs.UID(req.UID), req.Path)
+	if !ok || !grant.typ.Covers(token.Write) {
+		return reject(upcall.CodePermission, "no valid write token entry for "+req.Path)
+	}
+
+	s.mu.Lock()
+	// Wait until no conflicting open and no pending archive (§4.4: "any new
+	// update request to the file is blocked until the archiving completes").
+	pred := func(st *syncState) bool { return st.writer == 0 }
+	if fi.mode.FullControl() {
+		// rdd: readers also serialize against the writer.
+		pred = func(st *syncState) bool { return st.writer == 0 && len(st.readers) == 0 }
+	}
+	if !s.waitLocked(req.Path, pred) {
+		s.mu.Unlock()
+		return reject(upcall.CodeBusy, req.Path+" is busy (open or archiving)")
+	}
+	id := s.newOpenLocked(req.Path, fs.UID(req.UID), true)
+	st := s.syncFor(req.Path)
+	st.writer = id
+	s.mu.Unlock()
+
+	// Durable update entry before the open is approved (§4.4): after a crash
+	// this row is how recovery knows a restore is needed.
+	if _, err := s.repo.Exec(`INSERT INTO dlfm_updates (path, open_id) VALUES (?, ?)`,
+		sqlmini.Str(req.Path), sqlmini.Int(int64(id))); err != nil {
+		s.dropOpen(id)
+		return reject(upcall.CodeInternal, "update entry: "+err.Error())
+	}
+
+	// Take over the file for the duration of the update (§4.2): DLFM becomes
+	// the owner with exclusive access, so native reads fail during the
+	// window — read-write serialization without read locks in rfd mode.
+	if err := s.takeOver(req.Path); err != nil {
+		s.clearUpdateEntry(req.Path)
+		s.dropOpen(id)
+		return reject(upcall.CodeInternal, "takeover: "+err.Error())
+	}
+	s.cfg.Metrics.Counter("dlfm.open.write").Inc()
+	return upcall.Response{OK: true, OpenID: id, TakeOver: true}
+}
+
+// takeOver makes DLFM the exclusive owner of the file.
+func (s *Server) takeOver(path string) error {
+	node, err := s.cfg.Phys.Lookup(path)
+	if err != nil {
+		return err
+	}
+	attr, err := s.cfg.Phys.Getattr(node)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.takeovers[path]; !ok {
+		s.takeovers[path] = &takeoverState{origUID: attr.UID, origMode: attr.Mode}
+	}
+	s.mu.Unlock()
+	if err := s.cfg.Phys.Chown(node, rootCred, s.cfg.UID); err != nil {
+		return err
+	}
+	return s.cfg.Phys.Chmod(node, rootCred, 0o600)
+}
+
+// releaseTakeover restores the at-rest linked state after an update ends.
+func (s *Server) releaseTakeover(path string, fi fileInfo) error {
+	s.mu.Lock()
+	delete(s.takeovers, path)
+	s.mu.Unlock()
+	return s.restoreLinkState(path, fi)
+}
+
+// dropOpen discards open and sync state for an open id.
+func (s *Server) dropOpen(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.opens[id]
+	if !ok {
+		return
+	}
+	delete(s.opens, id)
+	if sy, ok := s.syncs[st.path]; ok {
+		delete(sy.readers, id)
+		if sy.writer == id {
+			sy.writer = 0
+		}
+		if sy.writer == 0 && len(sy.readers) == 0 {
+			delete(s.syncs, st.path)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// clearUpdateEntry removes the durable update row for a path.
+func (s *Server) clearUpdateEntry(path string) {
+	_, _ = s.repo.Exec(`DELETE FROM dlfm_updates WHERE path = ?`, sqlmini.Str(path))
+}
+
+// closeFile handles the fs_close upcall — end transaction for write opens.
+func (s *Server) closeFile(req upcall.Request) upcall.Response {
+	s.mu.Lock()
+	st, ok := s.opens[req.OpenID]
+	s.mu.Unlock()
+	if !ok {
+		return reject(upcall.CodeInternal, fmt.Sprintf("unknown open id %d", req.OpenID))
+	}
+	if !st.write {
+		s.dropOpen(st.id)
+		s.cfg.Metrics.Counter("dlfm.close.read").Inc()
+		return upcall.Response{OK: true}
+	}
+	if err := s.commitUpdate(st, req.Size, time.Unix(0, req.Mtime)); err != nil {
+		// The close fails and the update rolls back — the application sees
+		// the error from close(2), matching "processing of file close
+		// request fails [⇒] the update operation is rolled back".
+		if rbErr := s.rollbackUpdate(st); rbErr != nil {
+			return reject(upcall.CodeInternal,
+				fmt.Sprintf("close failed (%v) and rollback failed (%v)", err, rbErr))
+		}
+		return reject(upcall.CodeInternal, "file-update transaction aborted: "+err.Error())
+	}
+	s.cfg.Metrics.Counter("dlfm.close.write").Inc()
+	return upcall.Response{OK: true}
+}
+
+// updateSub is the DLFM side of a file-update transaction's 2PC: a repo
+// transaction that prepares/commits/aborts with the host metadata update.
+type updateSub struct {
+	s    *Server
+	repo *sqlmini.Txn
+	path string
+	ver  int64
+}
+
+// XRMName identifies the sub-transaction participant.
+func (u *updateSub) XRMName() string { return "dlfm-update:" + u.s.cfg.Name }
+
+// PrepareXRM journals the host binding, then prepares the repo transaction.
+func (u *updateSub) PrepareXRM(hostTxn uint64) error {
+	_, err := u.repo.Exec(
+		`INSERT INTO dlfm_txns (id, repo_txn, host_txn, action, path, orig_uid, orig_mode, recovery)
+		 VALUES (?, ?, ?, 'close', ?, 0, 0, FALSE)`,
+		sqlmini.Int(u.s.journalID()), sqlmini.Int(int64(u.repo.ID())),
+		sqlmini.Int(int64(hostTxn)), sqlmini.Str(u.path))
+	if err != nil {
+		return err
+	}
+	return u.repo.Prepare()
+}
+
+// CommitXRM commits the repository half.
+func (u *updateSub) CommitXRM(hostTxn uint64) error {
+	err := u.repo.Commit()
+	u.s.cleanupJournal(hostTxn)
+	return err
+}
+
+// AbortXRM rolls the repository half back.
+func (u *updateSub) AbortXRM(hostTxn uint64) error {
+	err := u.repo.Abort()
+	u.s.cleanupJournal(hostTxn)
+	return err
+}
+
+// commitUpdate runs the file-update commit protocol for a closing write open.
+func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error {
+	fi, linked := s.lookupFile(st.path)
+	if !linked {
+		return fmt.Errorf("dlfm: %s no longer linked", st.path)
+	}
+	// Modification detection via mtime (§4.4).
+	node, err := s.cfg.Phys.Lookup(st.path)
+	if err != nil {
+		return err
+	}
+	attr, err := s.cfg.Phys.Getattr(node)
+	if err != nil {
+		return err
+	}
+	modified := !attr.Mtime.Equal(st.mtime)
+	if !modified {
+		// Nothing to commit: drop the update entry locally.
+		s.clearUpdateEntry(st.path)
+		if err := s.releaseTakeover(st.path, fi); err != nil {
+			return err
+		}
+		s.dropOpen(st.id)
+		s.cfg.Metrics.Counter("dlfm.close.unmodified").Inc()
+		return nil
+	}
+
+	newVer := int64(fi.version) + 1
+	sub := &updateSub{s: s, repo: s.repo.Begin(), path: st.path, ver: newVer}
+	if _, err := sub.repo.Exec(`UPDATE dlfm_files SET cur_version = ? WHERE path = ?`,
+		sqlmini.Int(newVer), sqlmini.Str(st.path)); err != nil {
+		sub.repo.Abort()
+		return err
+	}
+	if _, err := sub.repo.Exec(`DELETE FROM dlfm_updates WHERE path = ?`,
+		sqlmini.Str(st.path)); err != nil {
+		sub.repo.Abort()
+		return err
+	}
+
+	// Two-phase commit with the host database: the metadata update (§4.3)
+	// and the repository changes share one fate.
+	stateID, err := s.cfg.Host.MetaUpdate(s.cfg.Name, st.path, size, mtime, sub)
+	if err != nil {
+		// The host aborted; AbortXRM already rolled the repo txn back.
+		return fmt.Errorf("metadata update failed: %w", err)
+	}
+
+	// Commit point passed. Record the committed-but-unarchived version, then
+	// archive asynchronously (§4.4).
+	if _, err := s.repo.Exec(`INSERT INTO dlfm_pending_archive (path, version, state_id) VALUES (?, ?, ?)`,
+		sqlmini.Str(st.path), sqlmini.Int(newVer), sqlmini.Int(int64(stateID))); err != nil {
+		return err
+	}
+	s.startArchive(st.path, archive.Version(newVer), stateID)
+
+	if err := s.releaseTakeover(st.path, fi); err != nil {
+		return err
+	}
+	s.dropOpen(st.id)
+	s.cfg.Metrics.Counter("dlfm.versions.committed").Inc()
+	return nil
+}
+
+// startArchive snapshots the file content and archives it in the background.
+// New update opens of the path block until the job finishes (§4.4).
+func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) {
+	content, err := s.cfg.Phys.ReadFile(path)
+	if err != nil {
+		content = nil
+	}
+	s.mu.Lock()
+	s.archiving[path] = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.archiving, path)
+			s.mu.Unlock()
+			s.cond.Broadcast()
+		}()
+		// A simulated machine crash (CrashRepo) can race this job; the
+		// repository rejects writes after the crash, which surfaces as a
+		// panic from the closed WAL. That is the "archiver died mid-job"
+		// case the durable pending-archive row exists for — recovery
+		// completes the copy. Absorb it here like the process death it is.
+		defer func() {
+			if recover() != nil {
+				s.cfg.Metrics.Counter("dlfm.archive.interrupted").Inc()
+			}
+		}()
+		if err := s.cfg.Archive.Put(s.cfg.Name, path, ver, stateID, content); err != nil {
+			s.cfg.Metrics.Counter("dlfm.archive.errors").Inc()
+			return
+		}
+		_, _ = s.repo.Exec(`DELETE FROM dlfm_pending_archive WHERE path = ?`, sqlmini.Str(path))
+		s.cfg.Metrics.Counter("dlfm.archive.jobs").Inc()
+	}()
+}
+
+// WaitArchives blocks until all in-flight archive jobs complete (tests and
+// orderly shutdown).
+func (s *Server) WaitArchives() {
+	for {
+		s.mu.Lock()
+		busy := len(s.archiving) > 0
+		s.mu.Unlock()
+		if !busy {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AbortUpdate explicitly rolls back an in-flight update transaction: the
+// last committed version is restored and the in-flight content quarantined.
+// Exposed to the engine/core layer; a crash takes the same path in recovery.
+func (s *Server) AbortUpdate(openID uint64) error {
+	s.mu.Lock()
+	st, ok := s.opens[openID]
+	s.mu.Unlock()
+	if !ok || !st.write {
+		return fmt.Errorf("dlfm: open %d is not an in-flight update", openID)
+	}
+	return s.rollbackUpdate(st)
+}
+
+// AbortUpdateByPath rolls back the in-flight update transaction on a path.
+func (s *Server) AbortUpdateByPath(path string) error {
+	s.mu.Lock()
+	var st *openState
+	if sy, ok := s.syncs[path]; ok && sy.writer != 0 {
+		st = s.opens[sy.writer]
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("dlfm: no update in flight on %s", path)
+	}
+	return s.rollbackUpdate(st)
+}
+
+// rollbackUpdate implements §4.2's failure path for one open.
+func (s *Server) rollbackUpdate(st *openState) error {
+	err := s.restoreLastCommitted(st.path)
+	s.dropOpen(st.id)
+	return err
+}
+
+// restoreLastCommitted quarantines the in-flight content of path and
+// restores the newest archived version. Also used by restart recovery.
+func (s *Server) restoreLastCommitted(path string) error {
+	fi, linked := s.lookupFile(path)
+	if !linked {
+		return fmt.Errorf("dlfm: %s not linked", path)
+	}
+	// Quarantine the in-flight version (§4.2).
+	current, err := s.cfg.Phys.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	qname := s.cfg.Quarantine + "/" + strings.ReplaceAll(strings.TrimPrefix(path, "/"), "/", "_") +
+		fmt.Sprintf(".%d", s.cfg.Clock().UnixNano())
+	if err := s.cfg.Phys.WriteFile(qname, current); err != nil {
+		return err
+	}
+	// Restore the last committed version from the archive.
+	entry, err := s.cfg.Archive.Latest(s.cfg.Name, path)
+	if err != nil {
+		return fmt.Errorf("dlfm: no archived version of %s to restore: %w", path, err)
+	}
+	if err := s.cfg.Phys.WriteFile(path, entry.Content); err != nil {
+		return err
+	}
+	s.clearUpdateEntry(path)
+	if err := s.releaseTakeover(path, fi); err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("dlfm.restores").Inc()
+	return nil
+}
+
+// RestoreAsOf restores every linked, recovery-enabled file to the newest
+// version whose database state identifier is <= stateID, discarding newer
+// versions — the file half of coordinated point-in-time restore (§4.4).
+func (s *Server) RestoreAsOf(stateID uint64) error {
+	tbl, err := s.repo.Table("dlfm_files")
+	if err != nil {
+		return err
+	}
+	type target struct {
+		fi fileInfo
+	}
+	var targets []target
+	tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+		fi := decodeFileRow(row)
+		if fi.recovery {
+			targets = append(targets, target{fi: fi})
+		}
+		return true
+	})
+	for _, t := range targets {
+		entry, err := s.cfg.Archive.AsOf(s.cfg.Name, t.fi.path, stateID)
+		if err != nil {
+			return fmt.Errorf("dlfm: restore %s as of %d: %w", t.fi.path, stateID, err)
+		}
+		if err := s.cfg.Phys.WriteFile(t.fi.path, entry.Content); err != nil {
+			return err
+		}
+		s.cfg.Archive.TruncateAfter(s.cfg.Name, t.fi.path, stateID)
+		if _, err := s.repo.Exec(`UPDATE dlfm_files SET cur_version = ? WHERE path = ?`,
+			sqlmini.Int(int64(entry.Version)), sqlmini.Str(t.fi.path)); err != nil {
+			return err
+		}
+		if err := s.restoreLinkState(t.fi.path, t.fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdatesInFlight reports paths with durable update entries (status tooling).
+func (s *Server) UpdatesInFlight() []string {
+	tbl, err := s.repo.Table("dlfm_updates")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+		out = append(out, row[0].S)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,304 @@
+package dlfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"datalinks/internal/fs"
+	"datalinks/internal/token"
+	"datalinks/internal/upcall"
+	"datalinks/internal/vfs"
+)
+
+const dlfmUID fs.UID = 777
+const user fs.UID = 100
+
+// scriptedDLFM is a minimal upcall service with scripted behaviour so DLFS
+// logic is tested in isolation from the real DLFM.
+type scriptedDLFM struct {
+	mu        sync.Mutex
+	calls     []upcall.Request
+	linked    map[string]bool // paths considered linked
+	writable  map[string]bool // paths where write-open is approved
+	readable  map[string]bool // full-control paths where read-open is approved
+	failToken bool
+	nextOpen  uint64
+}
+
+func newScripted() *scriptedDLFM {
+	return &scriptedDLFM{
+		linked:   make(map[string]bool),
+		writable: make(map[string]bool),
+		readable: make(map[string]bool),
+	}
+}
+
+func (s *scriptedDLFM) Upcall(req upcall.Request) (upcall.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls = append(s.calls, req)
+	switch req.Op {
+	case upcall.OpValidateToken:
+		if s.failToken {
+			return upcall.Response{Code: upcall.CodeBadToken, Err: "bad token"}, nil
+		}
+		return upcall.Response{OK: true}, nil
+	case upcall.OpReadOpen:
+		if req.Strict && !s.linked[req.Path] {
+			s.nextOpen++
+			return upcall.Response{OK: true, OpenID: s.nextOpen}, nil
+		}
+		if s.readable[req.Path] {
+			s.nextOpen++
+			return upcall.Response{OK: true, OpenID: s.nextOpen, TakeOver: true}, nil
+		}
+		if !s.linked[req.Path] {
+			return upcall.Response{Code: upcall.CodeNotLinked, Err: "not linked"}, nil
+		}
+		return upcall.Response{Code: upcall.CodePermission, Err: "no read"}, nil
+	case upcall.OpWriteOpen:
+		if !s.linked[req.Path] {
+			return upcall.Response{Code: upcall.CodeNotLinked, Err: "not linked"}, nil
+		}
+		if s.writable[req.Path] {
+			s.nextOpen++
+			return upcall.Response{OK: true, OpenID: s.nextOpen, TakeOver: true}, nil
+		}
+		return upcall.Response{Code: upcall.CodePermission, Err: "writes blocked"}, nil
+	case upcall.OpClose:
+		return upcall.Response{OK: true}, nil
+	case upcall.OpCheckRemove, upcall.OpCheckRename:
+		if s.linked[req.Path] || s.linked[req.NewPath] {
+			return upcall.Response{Code: upcall.CodeIntegrity, Err: "linked"}, nil
+		}
+		return upcall.Response{OK: true}, nil
+	}
+	return upcall.Response{Code: upcall.CodeInternal}, nil
+}
+
+func (s *scriptedDLFM) callsFor(op upcall.Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.calls {
+		if c.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func setup(t *testing.T, strict bool) (*vfs.LFS, *fs.FS, *scriptedDLFM) {
+	t.Helper()
+	phys := fs.New()
+	phys.MkdirAll("/d", fs.Cred{UID: fs.Root}, 0o777)
+	svc := newScripted()
+	mount := New(Config{
+		Phys:    phys,
+		Upcall:  upcall.NewInProc(svc, 0, nil),
+		DLFMUid: dlfmUID,
+		Strict:  strict,
+	})
+	return vfs.NewLFS(mount), phys, svc
+}
+
+func seed(t *testing.T, phys *fs.FS, path string, mode fs.FileMode, uid fs.UID) {
+	t.Helper()
+	if err := phys.WriteFile(path, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := phys.Lookup(path)
+	phys.Chown(ino, fs.Cred{UID: fs.Root}, uid)
+	phys.Chmod(ino, fs.Cred{UID: uid}, mode)
+}
+
+func TestReadOfUnmanagedFileMakesNoUpcalls(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/plain", 0o644, user)
+	fd, err := lfs.Open(fs.Cred{UID: user}, "/d/plain", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	lfs.Close(fd)
+	if len(svc.calls) != 0 {
+		t.Fatalf("read path made %d upcalls: %+v", len(svc.calls), svc.calls)
+	}
+}
+
+func TestTokenValidatedAtLookup(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/f", 0o644, user)
+	name := token.Embed("/d/f", "r:123:mac")
+	fd, err := lfs.Open(fs.Cred{UID: user}, name, fs.AccessRead)
+	if err != nil {
+		t.Fatalf("open with token: %v", err)
+	}
+	lfs.Close(fd)
+	if svc.callsFor(upcall.OpValidateToken) != 1 {
+		t.Fatal("token not validated at lookup")
+	}
+	// Invalid token fails the lookup itself.
+	svc.failToken = true
+	if _, err := lfs.Open(fs.Cred{UID: user}, name, fs.AccessRead); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("bad token open = %v", err)
+	}
+}
+
+func TestLazyWritePathOnlyUpcallsAfterEACCES(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	// A writable file: native open succeeds, no upcall.
+	seed(t, phys, "/d/rw", 0o644, user)
+	fd, err := lfs.Open(fs.Cred{UID: user}, "/d/rw", fs.AccessWrite)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	lfs.Close(fd)
+	if svc.callsFor(upcall.OpWriteOpen) != 0 {
+		t.Fatal("writable file triggered an upcall")
+	}
+	// A read-only linked rfd file: EACCES -> upcall -> approved -> takeover.
+	seed(t, phys, "/d/linked", 0o444, user)
+	svc.linked["/d/linked"] = true
+	svc.writable["/d/linked"] = true
+	fd, err = lfs.Open(fs.Cred{UID: user}, "/d/linked", fs.AccessWrite)
+	if err != nil {
+		t.Fatalf("rfd write open: %v", err)
+	}
+	if svc.callsFor(upcall.OpWriteOpen) != 1 {
+		t.Fatal("rfd write did not take the lazy upcall path")
+	}
+	if _, err := lfs.Write(fd, []byte("new")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := lfs.Close(fd); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if svc.callsFor(upcall.OpClose) == 0 {
+		t.Fatal("managed close skipped the upcall")
+	}
+}
+
+func TestReadOnlyUnlinkedFileKeepsNativeError(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/ro", 0o444, user) // read-only but NOT linked
+	_, err := lfs.Open(fs.Cred{UID: user}, "/d/ro", fs.AccessWrite)
+	if !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("write to read-only unlinked = %v", err)
+	}
+	// DLFM was consulted once (it said not linked), and the original
+	// permission error surfaced.
+	if svc.callsFor(upcall.OpWriteOpen) != 1 {
+		t.Fatalf("upcalls = %d", svc.callsFor(upcall.OpWriteOpen))
+	}
+}
+
+func TestFullControlOpenGoesThroughDLFM(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/fc", 0o400, dlfmUID) // dlfm-owned: full control
+	svc.linked["/d/fc"] = true
+	svc.readable["/d/fc"] = true
+	fd, err := lfs.Open(fs.Cred{UID: user}, "/d/fc", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("managed read open: %v", err)
+	}
+	buf := make([]byte, 4)
+	if n, _ := lfs.Read(fd, buf); n != 4 {
+		t.Fatalf("read %d bytes", n)
+	}
+	lfs.Close(fd)
+	if svc.callsFor(upcall.OpReadOpen) != 1 || svc.callsFor(upcall.OpClose) != 1 {
+		t.Fatalf("upcall counts: open=%d close=%d", svc.callsFor(upcall.OpReadOpen), svc.callsFor(upcall.OpClose))
+	}
+	// Rejected when DLFM says no.
+	svc.readable["/d/fc"] = false
+	if _, err := lfs.Open(fs.Cred{UID: user}, "/d/fc", fs.AccessRead); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("denied read = %v", err)
+	}
+}
+
+func TestRemoveRenameConsultDLFM(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/linked", 0o644, user)
+	seed(t, phys, "/d/free", 0o644, user)
+	svc.linked["/d/linked"] = true
+	if err := lfs.Remove(fs.Cred{UID: user}, "/d/linked"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("remove linked = %v", err)
+	}
+	if err := lfs.Remove(fs.Cred{UID: user}, "/d/free"); err != nil {
+		t.Fatalf("remove free: %v", err)
+	}
+	seed(t, phys, "/d/free2", 0o644, user)
+	if err := lfs.Rename(fs.Cred{UID: user}, "/d/free2", "/d/linked"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("rename onto linked = %v", err)
+	}
+	if err := lfs.Rename(fs.Cred{UID: user}, "/d/free2", "/d/elsewhere"); err != nil {
+		t.Fatalf("rename free: %v", err)
+	}
+}
+
+func TestWriteLockHeldDuringUpdate(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/f", 0o444, user)
+	svc.linked["/d/f"] = true
+	svc.writable["/d/f"] = true
+	fd, err := lfs.Open(fs.Cred{UID: user}, "/d/f", fs.AccessWrite)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ino, _ := phys.Lookup("/d/f")
+	writer, _ := phys.LockState(ino)
+	if writer == "" {
+		t.Fatal("no fs_lockctl exclusive lock held during the update")
+	}
+	lfs.Close(fd)
+	writer, _ = phys.LockState(ino)
+	if writer != "" {
+		t.Fatal("lock not released at close")
+	}
+}
+
+func TestStrictModeUpcallsOnPlainReads(t *testing.T) {
+	lfs, phys, svc := setup(t, true)
+	seed(t, phys, "/d/plain", 0o644, user)
+	fd, err := lfs.Open(fs.Cred{UID: user}, "/d/plain", fs.AccessRead)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	lfs.Close(fd)
+	if svc.callsFor(upcall.OpReadOpen) != 1 {
+		t.Fatalf("strict read upcalls = %d, want 1", svc.callsFor(upcall.OpReadOpen))
+	}
+	if svc.callsFor(upcall.OpClose) != 1 {
+		t.Fatal("strict open's close not reported")
+	}
+}
+
+func TestDirectoryOpsPassThrough(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	seed(t, phys, "/d/a", 0o644, user)
+	names, err := lfs.Readdir(fs.Cred{UID: user}, "/d")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	if len(svc.calls) != 0 {
+		t.Fatal("readdir made upcalls")
+	}
+}
+
+func TestCreateUnlinkedFile(t *testing.T) {
+	lfs, phys, svc := setup(t, false)
+	fd, err := lfs.Create(fs.Cred{UID: user}, "/d/new.txt", 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := lfs.Write(fd, []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lfs.Close(fd)
+	data, _ := phys.ReadFile("/d/new.txt")
+	if string(data) != "hello" {
+		t.Fatalf("content = %q", data)
+	}
+	_ = svc
+}

@@ -1,0 +1,460 @@
+// Package engine implements the DataLinks engine of Figure 1: the extension
+// inside the host RDBMS that turns DATALINK column changes into DLFM
+// link/unlink sub-transactions (two-phase commit, §2.2), generates access
+// tokens when DATALINK values are selected (§4.1), applies the automatic
+// metadata update of a committed file update (§4.3), and coordinates backup
+// and point-in-time restore with the file servers (§4.4).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datalinks/internal/datalink"
+	"datalinks/internal/dlfm"
+	"datalinks/internal/metrics"
+	"datalinks/internal/sqlmini"
+	"datalinks/internal/token"
+)
+
+// serverConn is the engine's connection to one file server's DLFM.
+type serverConn struct {
+	agent *dlfm.Agent
+	auth  *token.Authority
+}
+
+// registration records a linked file the engine knows about: which table and
+// column reference it and the column options it was linked under. The
+// registry backs token issuing and the metadata write-back.
+type registration struct {
+	table string
+	col   string
+	opts  datalink.ColumnOptions
+}
+
+// Engine is the DataLinks engine bound to one host database.
+type Engine struct {
+	db    *sqlmini.DB
+	clock func() time.Time
+	reg   *metrics.Registry
+
+	mu       sync.Mutex
+	servers  map[string]*serverConn
+	registry map[string]registration // key: server + "\x00" + path
+	// contentHooks derive user metadata column values from file content at
+	// update-commit time, keyed by lowercase "table.column". This implements
+	// the §4.3 future-work item (automatic update of content-specific
+	// attributes) as an opt-in extension.
+	contentHooks map[string]ContentHook
+}
+
+// ContentHook computes content-derived column values for the row(s)
+// referencing an updated file. The returned map is column-name -> value;
+// named columns must exist in the linking table.
+type ContentHook func(content []byte) map[string]sqlmini.Value
+
+// Options configures an engine.
+type Options struct {
+	Clock   func() time.Time
+	Metrics *metrics.Registry
+}
+
+// New attaches a DataLinks engine to a host database: it installs the DML
+// hook and the token-issuing scalar functions.
+func New(db *sqlmini.DB, opts Options) *Engine {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	e := &Engine{
+		db:           db,
+		clock:        opts.Clock,
+		reg:          opts.Metrics,
+		servers:      make(map[string]*serverConn),
+		registry:     make(map[string]registration),
+		contentHooks: make(map[string]ContentHook),
+	}
+	db.SetDMLHook(e.dmlHook)
+	e.registerTokenFns()
+	return e
+}
+
+// DB returns the host database.
+func (e *Engine) DB() *sqlmini.DB { return e.db }
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// AttachFileServer connects the engine to a DLFM. tokenKey must equal the
+// DLFM's configured key (the shared secret of §4.1).
+func (e *Engine) AttachFileServer(srv *dlfm.Server, tokenKey []byte, ttl time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.servers[srv.Name()] = &serverConn{
+		agent: srv.ConnectAgent(),
+		auth:  token.NewAuthority(tokenKey, e.clock, ttl),
+	}
+}
+
+// ServerNames lists attached file servers (status tooling).
+func (e *Engine) ServerNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.servers))
+	for n := range e.servers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// conn returns the connection for a file server.
+func (e *Engine) conn(server string) (*serverConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.servers[server]
+	if !ok {
+		return nil, fmt.Errorf("engine: no file server %q attached", server)
+	}
+	return c, nil
+}
+
+func regKey(server, path string) string { return server + "\x00" + path }
+
+// lookupReg finds the registration for a linked file.
+func (e *Engine) lookupReg(server, path string) (registration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.registry[regKey(server, path)]
+	return r, ok
+}
+
+// dmlHook observes row changes and drives link/unlink processing.
+func (e *Engine) dmlHook(txn *sqlmini.Txn, tbl *sqlmini.Table, op sqlmini.DMLOp, old, new sqlmini.Row) error {
+	for i, col := range tbl.Columns {
+		if col.Kind != sqlmini.KindLink {
+			continue
+		}
+		var oldLink, newLink datalink.Link
+		if old != nil {
+			oldLink, _ = old[i].AsLink()
+		}
+		if new != nil {
+			newLink, _ = new[i].AsLink()
+		}
+		switch op {
+		case sqlmini.DMLInsert:
+			if !newLink.IsZero() {
+				if err := e.link(txn, tbl, col, newLink); err != nil {
+					return err
+				}
+			}
+		case sqlmini.DMLDelete:
+			if !oldLink.IsZero() {
+				if err := e.unlink(txn, oldLink, col); err != nil {
+					return err
+				}
+			}
+		case sqlmini.DMLUpdate:
+			if oldLink == newLink {
+				continue
+			}
+			if !oldLink.IsZero() {
+				if err := e.unlink(txn, oldLink, col); err != nil {
+					return err
+				}
+			}
+			if !newLink.IsZero() {
+				if err := e.link(txn, tbl, col, newLink); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// link runs DLFM link processing inside the host transaction.
+func (e *Engine) link(txn *sqlmini.Txn, tbl *sqlmini.Table, col sqlmini.Column, l datalink.Link) error {
+	if !col.DL.Mode.Linked() {
+		// nff: the URL is stored, the file is not managed at all.
+		return nil
+	}
+	c, err := e.conn(l.Server)
+	if err != nil {
+		return err
+	}
+	if err := c.agent.LinkFile(txn.ID(), l.Path, col.DL); err != nil {
+		return fmt.Errorf("engine: link %s: %w", l.URL(), err)
+	}
+	txn.Enlist(c.agent.Server())
+	e.reg.Counter("engine.links").Inc()
+	reg := registration{table: tbl.Name, col: col.Name, opts: col.DL}
+	key := regKey(l.Server, l.Path)
+	txn.OnCommit(func() {
+		e.mu.Lock()
+		e.registry[key] = reg
+		e.mu.Unlock()
+	})
+	return nil
+}
+
+// unlink runs DLFM unlink processing inside the host transaction.
+func (e *Engine) unlink(txn *sqlmini.Txn, l datalink.Link, col sqlmini.Column) error {
+	if !col.DL.Mode.Linked() {
+		return nil
+	}
+	c, err := e.conn(l.Server)
+	if err != nil {
+		return err
+	}
+	if err := c.agent.UnlinkFile(txn.ID(), l.Path); err != nil {
+		return fmt.Errorf("engine: unlink %s: %w", l.URL(), err)
+	}
+	txn.Enlist(c.agent.Server())
+	e.reg.Counter("engine.unlinks").Inc()
+	key := regKey(l.Server, l.Path)
+	txn.OnCommit(func() {
+		e.mu.Lock()
+		delete(e.registry, key)
+		e.mu.Unlock()
+	})
+	return nil
+}
+
+// ---- Token issuing (§4.1) ----
+
+// registerTokenFns installs DLURLCOMPLETE and DLURLCOMPLETEWRITE, which
+// return the URL with a freshly issued read/write token embedded.
+func (e *Engine) registerTokenFns() {
+	e.db.RegisterFn("DLURLCOMPLETE", func(_ *sqlmini.Txn, args []sqlmini.Value) (sqlmini.Value, error) {
+		return e.completeURL(args, token.Read)
+	})
+	e.db.RegisterFn("DLURLCOMPLETEWRITE", func(_ *sqlmini.Txn, args []sqlmini.Value) (sqlmini.Value, error) {
+		return e.completeURL(args, token.Write)
+	})
+}
+
+func (e *Engine) completeURL(args []sqlmini.Value, typ token.Type) (sqlmini.Value, error) {
+	if len(args) != 1 || args[0].Kind() != sqlmini.KindLink {
+		return sqlmini.Value{}, errors.New("DLURLCOMPLETE takes one DATALINK argument")
+	}
+	l, _ := args[0].AsLink()
+	tok, err := e.IssueToken(l, typ)
+	if err != nil {
+		return sqlmini.Value{}, err
+	}
+	if tok == "" {
+		return sqlmini.Str(l.URL()), nil
+	}
+	return sqlmini.Str(l.URL() + token.Sep + tok), nil
+}
+
+// IssueToken issues an access token for a linked file. Returns "" (no token
+// needed) for files whose requested access is file-system controlled.
+func (e *Engine) IssueToken(l datalink.Link, typ token.Type) (string, error) {
+	reg, linked := e.lookupReg(l.Server, l.Path)
+	if !linked {
+		// Unlinked (nff or foreign) reference: no token to issue.
+		return "", nil
+	}
+	c, err := e.conn(l.Server)
+	if err != nil {
+		return "", err
+	}
+	mode := reg.opts.Mode
+	switch typ {
+	case token.Read:
+		if !mode.ReadNeedsToken() {
+			return "", nil // reads are FS-controlled; no token needed
+		}
+	case token.Write:
+		if !mode.UpdateManaged() {
+			return "", fmt.Errorf("engine: %s is linked in %s mode: no write tokens", l.URL(), mode)
+		}
+	}
+	e.reg.Counter("engine.tokens." + typ.String()).Inc()
+	if reg.opts.TokenTTLSecs > 0 {
+		return c.auth.IssueWithTTL(typ, l.Path, time.Duration(reg.opts.TokenTTLSecs)*time.Second), nil
+	}
+	return c.auth.Issue(typ, l.Path), nil
+}
+
+// LinkedMode reports the control mode a file is linked under, per the
+// engine's registry.
+func (e *Engine) LinkedMode(l datalink.Link) (datalink.ControlMode, bool) {
+	reg, ok := e.lookupReg(l.Server, l.Path)
+	return reg.opts.Mode, ok
+}
+
+// ---- Host services for DLFM (§4.3, 2PC recovery) ----
+
+var _ dlfm.Host = (*Engine)(nil)
+
+// RegisterContentHook installs a content-metadata derivation for one
+// DATALINK column ("table", "column"). On every committed update of a file
+// linked through that column, the hook runs over the new file content and
+// its outputs are written to the named columns in the same transaction as
+// the size/mtime update — extending §4.3's automatic metadata update to
+// user metadata, which the paper leaves as future research.
+func (e *Engine) RegisterContentHook(table, column string, hook ContentHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.contentHooks[strings.ToLower(table+"."+column)] = hook
+}
+
+func (e *Engine) contentHook(table, column string) (ContentHook, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.contentHooks[strings.ToLower(table+"."+column)]
+	return h, ok
+}
+
+// MetaUpdate runs the automatic metadata update for a committed file update
+// in a fresh host transaction with the DLFM sub-transaction enlisted. The
+// convention reproduced from §4.3: if the linking table has companion
+// columns named <linkcol>_size (integer) and/or <linkcol>_mtime (timestamp),
+// they are updated in the same transaction as DLFM's version bookkeeping;
+// registered content hooks contribute further columns.
+func (e *Engine) MetaUpdate(server, path string, size int64, mtime time.Time, sub sqlmini.XRM) (uint64, error) {
+	txn := e.db.Begin()
+	txn.Enlist(sub)
+	if reg, ok := e.lookupReg(server, path); ok {
+		if err := e.applyMetaColumns(txn, reg, server, path, size, mtime); err != nil {
+			_ = txn.Abort()
+			return 0, err
+		}
+		if hook, ok := e.contentHook(reg.table, reg.col); ok {
+			if err := e.applyContentHook(txn, reg, server, path, hook); err != nil {
+				_ = txn.Abort()
+				return 0, err
+			}
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	e.reg.Counter("engine.meta_updates").Inc()
+	return uint64(e.db.StateID()), nil
+}
+
+// applyContentHook runs the hook over the file's content and updates the
+// derived columns in the same transaction.
+func (e *Engine) applyContentHook(txn *sqlmini.Txn, reg registration, server, path string, hook ContentHook) error {
+	c, err := e.conn(server)
+	if err != nil {
+		return err
+	}
+	content, err := c.agent.Server().ReadFileContent(path)
+	if err != nil {
+		return err
+	}
+	derived := hook(content)
+	if len(derived) == 0 {
+		return nil
+	}
+	cols := make([]string, 0, len(derived))
+	for col := range derived {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	sets := make([]string, 0, len(cols))
+	args := make([]sqlmini.Value, 0, len(cols)+1)
+	for _, col := range cols {
+		sets = append(sets, col+" = ?")
+		args = append(args, derived[col])
+	}
+	args = append(args, sqlmini.Link(datalink.Link{Server: server, Path: path}))
+	stmt := fmt.Sprintf("UPDATE %s SET %s WHERE %s = ?", reg.table, strings.Join(sets, ", "), reg.col)
+	_, err = txn.Exec(stmt, args...)
+	return err
+}
+
+// applyMetaColumns performs the companion-column UPDATE if the columns exist.
+func (e *Engine) applyMetaColumns(txn *sqlmini.Txn, reg registration, server, path string, size int64, mtime time.Time) error {
+	tbl, err := e.db.Table(reg.table)
+	if err != nil {
+		return err
+	}
+	sizeCol, mtimeCol := "", ""
+	for _, c := range tbl.Columns {
+		switch strings.ToLower(c.Name) {
+		case strings.ToLower(reg.col) + "_size":
+			sizeCol = c.Name
+		case strings.ToLower(reg.col) + "_mtime":
+			mtimeCol = c.Name
+		}
+	}
+	if sizeCol == "" && mtimeCol == "" {
+		return nil
+	}
+	var sets []string
+	var args []sqlmini.Value
+	if sizeCol != "" {
+		sets = append(sets, sizeCol+" = ?")
+		args = append(args, sqlmini.Int(size))
+	}
+	if mtimeCol != "" {
+		sets = append(sets, mtimeCol+" = ?")
+		args = append(args, sqlmini.Time(mtime))
+	}
+	args = append(args, sqlmini.Link(datalink.Link{Server: server, Path: path}))
+	stmt := fmt.Sprintf("UPDATE %s SET %s WHERE %s = ?", reg.table, strings.Join(sets, ", "), reg.col)
+	_, err = txn.Exec(stmt, args...)
+	return err
+}
+
+// TxnOutcome reports the fate of a host transaction (DLFM in-doubt
+// resolution).
+func (e *Engine) TxnOutcome(txnID uint64) (committed, known bool) {
+	return e.db.Outcome(txnID)
+}
+
+// StateID returns the current host database state identifier.
+func (e *Engine) StateID() uint64 { return uint64(e.db.StateID()) }
+
+// RebuildRegistry rescans every table for non-null DATALINK values and
+// rebuilds the in-memory registry — used after restart or restore.
+func (e *Engine) RebuildRegistry() error {
+	fresh := make(map[string]registration)
+	for _, name := range e.db.TableNames() {
+		tbl, err := e.db.Table(name)
+		if err != nil {
+			return err
+		}
+		for i, col := range tbl.Columns {
+			if col.Kind != sqlmini.KindLink || !col.DL.Mode.Linked() {
+				continue
+			}
+			colIdx := i
+			c := col
+			tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+				if l, ok := row[colIdx].AsLink(); ok && !l.IsZero() {
+					fresh[regKey(l.Server, l.Path)] = registration{table: tbl.Name, col: c.Name, opts: c.DL}
+				}
+				return true
+			})
+		}
+	}
+	e.mu.Lock()
+	e.registry = fresh
+	e.mu.Unlock()
+	return nil
+}
+
+// LinkedFiles lists every registered link as URLs (status tooling).
+func (e *Engine) LinkedFiles() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.registry))
+	for key := range e.registry {
+		parts := strings.SplitN(key, "\x00", 2)
+		out = append(out, datalink.Link{Server: parts[0], Path: parts[1]}.URL())
+	}
+	return out
+}

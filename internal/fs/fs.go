@@ -1,0 +1,791 @@
+// Package fs implements the physical file system substrate that DataLinks
+// manages: an in-memory UNIX-like file system with inodes, ownership,
+// permission bits, modification times, and advisory whole-file locks.
+//
+// It stands in for the AIX JFS/UFS file systems of the paper. The DataLinks
+// File System (internal/dlfs) interposes on it through the VFS interface in
+// internal/vfs; this package knows nothing about databases or links.
+//
+// The file system is "the disk": it survives simulated crashes as-is,
+// including partially written files — which is precisely why the DLFM
+// archive-restore protocol of the paper is needed for update atomicity.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// UID identifies a user. UID 0 is root and bypasses permission checks.
+type UID int32
+
+// Root is the superuser; permission checks always succeed for it.
+const Root UID = 0
+
+// Cred carries the credentials of the process issuing a file operation.
+type Cred struct {
+	UID UID
+}
+
+// FileMode holds UNIX-style permission bits. Only the lower 9 bits are used.
+type FileMode uint16
+
+// Permission bit masks for owner and everyone else. Group permissions exist
+// for completeness but DataLinks only distinguishes owner vs other.
+const (
+	ModeOwnerRead  FileMode = 0o400
+	ModeOwnerWrite FileMode = 0o200
+	ModeGroupRead  FileMode = 0o040
+	ModeGroupWrite FileMode = 0o020
+	ModeOtherRead  FileMode = 0o004
+	ModeOtherWrite FileMode = 0o002
+)
+
+// AccessMode is the mode with which a file is opened.
+type AccessMode uint8
+
+// Open access modes.
+const (
+	AccessRead AccessMode = 1 << iota
+	AccessWrite
+)
+
+// ReadWrite is a convenience constant for read-write opens.
+const ReadWrite = AccessRead | AccessWrite
+
+func (m AccessMode) String() string {
+	switch m {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", uint8(m))
+	}
+}
+
+// Errors returned by file system operations. They mirror the errno values a
+// real VFS would surface; DLFS dispatches on ErrPermission to trigger the
+// rfd write-open upcall path exactly as the paper describes.
+var (
+	ErrNotExist   = errors.New("fs: no such file or directory")
+	ErrExist      = errors.New("fs: file exists")
+	ErrPermission = errors.New("fs: permission denied")
+	ErrIsDir      = errors.New("fs: is a directory")
+	ErrNotDir     = errors.New("fs: not a directory")
+	ErrNotEmpty   = errors.New("fs: directory not empty")
+	ErrLocked     = errors.New("fs: file locked")
+	ErrInvalid    = errors.New("fs: invalid argument")
+)
+
+// NodeType distinguishes files from directories.
+type NodeType uint8
+
+// Inode types.
+const (
+	TypeFile NodeType = iota + 1
+	TypeDir
+)
+
+// Attr is the stat-like attribute block of an inode.
+type Attr struct {
+	Ino   uint64
+	Type  NodeType
+	UID   UID
+	Mode  FileMode
+	Size  int64
+	Mtime time.Time
+}
+
+// Inode is a file or directory. Callers treat *Inode as an opaque vnode
+// pointer; all field access goes through FS methods so locking stays inside
+// the package.
+type Inode struct {
+	ino      uint64
+	typ      NodeType
+	uid      UID
+	mode     FileMode
+	mtime    time.Time
+	data     []byte
+	children map[string]*Inode // directories only
+	nlink    int               // 0 once unlinked; data stays for open handles
+	lock     fileLock
+}
+
+// Ino returns the inode number, stable for the life of the file.
+func (n *Inode) Ino() uint64 { return n.ino }
+
+// fileLock is an advisory whole-file read/write lock (fs_lockctl).
+type fileLock struct {
+	readers map[string]int // owner -> count
+	writer  string         // owner holding the exclusive lock, "" if none
+	waiters []chan struct{}
+}
+
+// LockOp selects the fs_lockctl operation.
+type LockOp uint8
+
+// Lock operations: shared (read) lock, exclusive (write) lock, unlock.
+const (
+	LockShared LockOp = iota + 1
+	LockExclusive
+	LockUnlock
+)
+
+// Clock supplies the current time; injectable for deterministic tests.
+type Clock func() time.Time
+
+// FS is an in-memory file system. All methods are safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	root  *Inode
+	next  uint64
+	clock Clock
+
+	// Op counters, read by the experiment harness as "syscall counts".
+	Stats struct {
+		Lookups  int64
+		Opens    int64
+		Reads    int64
+		Writes   int64
+		Removes  int64
+		Renames  int64
+		Setattrs int64
+	}
+}
+
+// New returns an empty file system with a root directory owned by root.
+func New() *FS {
+	return NewWithClock(time.Now)
+}
+
+// NewWithClock returns an empty file system using the given clock.
+func NewWithClock(clock Clock) *FS {
+	f := &FS{clock: clock, next: 1}
+	f.root = &Inode{
+		ino:      1,
+		typ:      TypeDir,
+		uid:      Root,
+		mode:     0o755,
+		mtime:    clock(),
+		children: make(map[string]*Inode),
+		nlink:    1,
+	}
+	return f
+}
+
+// clean normalizes a path to an absolute, slash-separated form.
+func clean(p string) (string, error) {
+	if p == "" {
+		return "", ErrInvalid
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p), nil
+}
+
+// split returns the parent directory path and base name of p.
+func split(p string) (dir, base string) {
+	dir, base = path.Split(p)
+	if dir != "/" {
+		dir = strings.TrimSuffix(dir, "/")
+	}
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, base
+}
+
+// resolve walks the tree to the inode at p. Caller must hold f.mu.
+func (f *FS) resolve(p string) (*Inode, error) {
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := f.root
+	if p == "/" {
+		return cur, nil
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if cur.typ != TypeDir {
+			return nil, ErrNotDir
+		}
+		child, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// permOK reports whether cred may access an inode with the given mode.
+func permOK(n *Inode, cred Cred, want AccessMode) bool {
+	if cred.UID == Root {
+		return true
+	}
+	var readBit, writeBit FileMode
+	if n.uid == cred.UID {
+		readBit, writeBit = ModeOwnerRead, ModeOwnerWrite
+	} else {
+		readBit, writeBit = ModeOtherRead, ModeOtherWrite
+	}
+	if want&AccessRead != 0 && n.mode&readBit == 0 {
+		return false
+	}
+	if want&AccessWrite != 0 && n.mode&writeBit == 0 {
+		return false
+	}
+	return true
+}
+
+// Lookup resolves a path to its inode without any permission check on the
+// target (matching UNIX fs_lookup semantics used by LFS before fs_open).
+func (f *FS) Lookup(p string) (*Inode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Lookups++
+	return f.resolve(p)
+}
+
+// OpenCheck performs the fs_open permission check against an inode. It does
+// not allocate any handle state; the LFS layer owns the open-file table.
+func (f *FS) OpenCheck(n *Inode, cred Cred, mode AccessMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Opens++
+	if n == nil {
+		return ErrInvalid
+	}
+	if n.typ == TypeDir && mode&AccessWrite != 0 {
+		return ErrIsDir
+	}
+	if !permOK(n, cred, mode) {
+		return ErrPermission
+	}
+	return nil
+}
+
+// Create makes a new empty file at p owned by cred with the given mode.
+func (f *FS) Create(p string, cred Cred, mode FileMode) (*Inode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	dirPath, base := split(p)
+	dir, err := f.resolve(dirPath)
+	if err != nil {
+		return nil, err
+	}
+	if dir.typ != TypeDir {
+		return nil, ErrNotDir
+	}
+	if !permOK(dir, cred, AccessWrite) {
+		return nil, ErrPermission
+	}
+	if _, ok := dir.children[base]; ok {
+		return nil, ErrExist
+	}
+	f.next++
+	n := &Inode{
+		ino:   f.next,
+		typ:   TypeFile,
+		uid:   cred.UID,
+		mode:  mode,
+		mtime: f.clock(),
+		nlink: 1,
+	}
+	dir.children[base] = n
+	dir.mtime = f.clock()
+	return n, nil
+}
+
+// Mkdir creates a directory at p.
+func (f *FS) Mkdir(p string, cred Cred, mode FileMode) (*Inode, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	dirPath, base := split(p)
+	dir, err := f.resolve(dirPath)
+	if err != nil {
+		return nil, err
+	}
+	if dir.typ != TypeDir {
+		return nil, ErrNotDir
+	}
+	if !permOK(dir, cred, AccessWrite) {
+		return nil, ErrPermission
+	}
+	if _, ok := dir.children[base]; ok {
+		return nil, ErrExist
+	}
+	f.next++
+	n := &Inode{
+		ino:      f.next,
+		typ:      TypeDir,
+		uid:      cred.UID,
+		mode:     mode,
+		mtime:    f.clock(),
+		children: make(map[string]*Inode),
+		nlink:    1,
+	}
+	dir.children[base] = n
+	return n, nil
+}
+
+// MkdirAll creates p and any missing parents, ignoring ErrExist.
+func (f *FS) MkdirAll(p string, cred Cred, mode FileMode) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		if _, err := f.Mkdir(cur, cred, mode); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks the file at p. Directories must be removed with Rmdir.
+func (f *FS) Remove(p string, cred Cred) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Removes++
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	dirPath, base := split(p)
+	dir, err := f.resolve(dirPath)
+	if err != nil {
+		return err
+	}
+	n, ok := dir.children[base]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.typ == TypeDir {
+		return ErrIsDir
+	}
+	if !permOK(dir, cred, AccessWrite) {
+		return ErrPermission
+	}
+	delete(dir.children, base)
+	n.nlink--
+	dir.mtime = f.clock()
+	return nil
+}
+
+// Rmdir removes an empty directory at p.
+func (f *FS) Rmdir(p string, cred Cred) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrInvalid
+	}
+	dirPath, base := split(p)
+	dir, err := f.resolve(dirPath)
+	if err != nil {
+		return err
+	}
+	n, ok := dir.children[base]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.typ != TypeDir {
+		return ErrNotDir
+	}
+	if len(n.children) != 0 {
+		return ErrNotEmpty
+	}
+	if !permOK(dir, cred, AccessWrite) {
+		return ErrPermission
+	}
+	delete(dir.children, base)
+	return nil
+}
+
+// Rename moves oldp to newp, replacing any existing file at newp.
+func (f *FS) Rename(oldp, newp string, cred Cred) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Renames++
+	oldp, err := clean(oldp)
+	if err != nil {
+		return err
+	}
+	newp, err = clean(newp)
+	if err != nil {
+		return err
+	}
+	oldDirPath, oldBase := split(oldp)
+	newDirPath, newBase := split(newp)
+	oldDir, err := f.resolve(oldDirPath)
+	if err != nil {
+		return err
+	}
+	newDir, err := f.resolve(newDirPath)
+	if err != nil {
+		return err
+	}
+	n, ok := oldDir.children[oldBase]
+	if !ok {
+		return ErrNotExist
+	}
+	if !permOK(oldDir, cred, AccessWrite) || !permOK(newDir, cred, AccessWrite) {
+		return ErrPermission
+	}
+	if existing, ok := newDir.children[newBase]; ok {
+		if existing.typ == TypeDir {
+			return ErrIsDir
+		}
+		existing.nlink--
+	}
+	delete(oldDir.children, oldBase)
+	newDir.children[newBase] = n
+	now := f.clock()
+	oldDir.mtime = now
+	newDir.mtime = now
+	return nil
+}
+
+// ReadAt reads from the file at offset off into p, returning bytes read.
+// Reading at or past EOF returns 0 with no error (callers detect EOF by n=0).
+func (f *FS) ReadAt(n *Inode, off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Reads++
+	if n == nil || n.typ != TypeFile {
+		return 0, ErrInvalid
+	}
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	if off >= int64(len(n.data)) {
+		return 0, nil
+	}
+	c := copy(p, n.data[off:])
+	return c, nil
+}
+
+// WriteAt writes p to the file at offset off, extending it as needed.
+// It updates size and mtime — the metadata DLFM propagates to the database.
+func (f *FS) WriteAt(n *Inode, off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Writes++
+	if n == nil || n.typ != TypeFile {
+		return 0, ErrInvalid
+	}
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	end := off + int64(len(p))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:], p)
+	n.mtime = f.clock()
+	return len(p), nil
+}
+
+// Truncate sets the file length to size.
+func (f *FS) Truncate(n *Inode, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == nil || n.typ != TypeFile {
+		return ErrInvalid
+	}
+	if size < 0 {
+		return ErrInvalid
+	}
+	switch {
+	case size <= int64(len(n.data)):
+		n.data = n.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	n.mtime = f.clock()
+	return nil
+}
+
+// Getattr returns the attribute block of an inode.
+func (f *FS) Getattr(n *Inode) (Attr, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == nil {
+		return Attr{}, ErrInvalid
+	}
+	return Attr{
+		Ino:   n.ino,
+		Type:  n.typ,
+		UID:   n.uid,
+		Mode:  n.mode,
+		Size:  int64(len(n.data)),
+		Mtime: n.mtime,
+	}, nil
+}
+
+// Chown changes the owner of an inode. Only root (or the DLFM process running
+// as root) may take over ownership — matching the take-over mechanics of §4.
+func (f *FS) Chown(n *Inode, cred Cred, uid UID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Setattrs++
+	if n == nil {
+		return ErrInvalid
+	}
+	if cred.UID != Root && cred.UID != n.uid {
+		return ErrPermission
+	}
+	n.uid = uid
+	return nil
+}
+
+// Chmod changes the permission bits of an inode.
+func (f *FS) Chmod(n *Inode, cred Cred, mode FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Stats.Setattrs++
+	if n == nil {
+		return ErrInvalid
+	}
+	if cred.UID != Root && cred.UID != n.uid {
+		return ErrPermission
+	}
+	n.mode = mode
+	return nil
+}
+
+// SetMtime overrides the modification time (used by restore).
+func (f *FS) SetMtime(n *Inode, t time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == nil {
+		return ErrInvalid
+	}
+	n.mtime = t
+	return nil
+}
+
+// ReadDir lists the entries of the directory at p in sorted order.
+func (f *FS) ReadDir(p string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, err := f.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if dir.typ != TypeDir {
+		return nil, ErrNotDir
+	}
+	names := make([]string, 0, len(dir.children))
+	for name := range dir.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile returns a copy of the whole file content at p.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != TypeFile {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// WriteFile replaces the whole content of the file at p, creating it if
+// needed. It bypasses permission checks (root semantics) — a convenience for
+// tests and restore paths only.
+func (f *FS) WriteFile(p string, data []byte) error {
+	n, err := f.Lookup(p)
+	if errors.Is(err, ErrNotExist) {
+		n, err = f.Create(p, Cred{UID: Root}, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(n, 0); err != nil {
+		return err
+	}
+	_, err = f.WriteAt(n, 0, data)
+	return err
+}
+
+// Lockctl implements advisory whole-file locking (the fs_lockctl entry
+// point). TryLockctl is the non-blocking variant. The owner string names the
+// lock holder; re-locking by the same owner is idempotent for shared locks.
+func (f *FS) Lockctl(n *Inode, owner string, op LockOp) error {
+	for {
+		err := f.TryLockctl(n, owner, op)
+		if !errors.Is(err, ErrLocked) {
+			return err
+		}
+		// Block until some unlock happens, then retry.
+		f.mu.Lock()
+		ch := make(chan struct{})
+		n.lock.waiters = append(n.lock.waiters, ch)
+		f.mu.Unlock()
+		<-ch
+	}
+}
+
+// TryLockctl attempts the lock operation without blocking, returning
+// ErrLocked on conflict.
+func (f *FS) TryLockctl(n *Inode, owner string, op LockOp) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == nil {
+		return ErrInvalid
+	}
+	lk := &n.lock
+	if lk.readers == nil {
+		lk.readers = make(map[string]int)
+	}
+	switch op {
+	case LockShared:
+		if lk.writer != "" && lk.writer != owner {
+			return ErrLocked
+		}
+		lk.readers[owner]++
+		return nil
+	case LockExclusive:
+		if lk.writer != "" && lk.writer != owner {
+			return ErrLocked
+		}
+		for r := range lk.readers {
+			if r != owner {
+				return ErrLocked
+			}
+		}
+		lk.writer = owner
+		return nil
+	case LockUnlock:
+		released := false
+		if lk.writer == owner {
+			lk.writer = ""
+			released = true
+		}
+		if cnt, ok := lk.readers[owner]; ok {
+			if cnt <= 1 {
+				delete(lk.readers, owner)
+			} else {
+				lk.readers[owner] = cnt - 1
+			}
+			released = true
+		}
+		if released {
+			for _, ch := range lk.waiters {
+				close(ch)
+			}
+			lk.waiters = nil
+		}
+		return nil
+	default:
+		return ErrInvalid
+	}
+}
+
+// ClearAllLocks discards every advisory lock and wakes all waiters.
+// Advisory locks are kernel state: a machine crash clears them, so restart
+// recovery calls this to model the reboot.
+func (f *FS) ClearAllLocks() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var rec func(n *Inode)
+	rec = func(n *Inode) {
+		n.lock.readers = nil
+		n.lock.writer = ""
+		for _, ch := range n.lock.waiters {
+			close(ch)
+		}
+		n.lock.waiters = nil
+		for _, child := range n.children {
+			rec(child)
+		}
+	}
+	rec(f.root)
+}
+
+// LockState reports the current holders of a file's advisory lock; used by
+// tests to assert serialization behaviour.
+func (f *FS) LockState(n *Inode) (writer string, readers []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	writer = n.lock.writer
+	for r := range n.lock.readers {
+		readers = append(readers, r)
+	}
+	sort.Strings(readers)
+	return writer, readers
+}
+
+// Walk calls fn for every file (not directory) under root p, with its path.
+func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start, err := f.resolve(p)
+	if err != nil {
+		return err
+	}
+	p, _ = clean(p)
+	var rec func(prefix string, n *Inode)
+	rec = func(prefix string, n *Inode) {
+		if n.typ == TypeFile {
+			fn(prefix, Attr{Ino: n.ino, Type: n.typ, UID: n.uid, Mode: n.mode, Size: int64(len(n.data)), Mtime: n.mtime})
+			return
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			child := n.children[name]
+			cp := prefix + "/" + name
+			if prefix == "/" {
+				cp = "/" + name
+			}
+			rec(cp, child)
+		}
+	}
+	rec(p, start)
+	return nil
+}

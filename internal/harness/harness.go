@@ -1,0 +1,227 @@
+// Package harness runs the paper-reproduction experiments: every table and
+// figure of the evaluation, plus the quantitative versions of the paper's
+// qualitative claims. cmd/dlbench drives it from the command line;
+// bench_test.go exposes each experiment as a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is an aligned text table with a caption.
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Caption)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "  %s", c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown (EXPERIMENTS.md).
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "**%s**\n\n", t.Caption)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	ID    string // "T1", "F1", "E3", ...
+	Title string
+	Paper string // what the paper reported / claimed
+	Run   func() ([]*Table, error)
+}
+
+// registry holds all experiments in declaration order.
+var registry []Experiment
+
+// Register adds an experiment (called from init functions in this package).
+func Register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in a stable order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts T1, F1, F2, then E3..E12 numerically.
+func orderKey(id string) string {
+	if len(id) < 2 {
+		return id
+	}
+	prefixRank := map[byte]string{'T': "0", 'F': "1", 'E': "2"}
+	rank, ok := prefixRank[id[0]]
+	if !ok {
+		rank = "9"
+	}
+	return fmt.Sprintf("%s%02s", rank, id[1:])
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, rendering to w.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment, rendering to w.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+	start := time.Now()
+	tables, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	for _, t := range tables {
+		t.Render(w)
+	}
+	fmt.Fprintf(w, "(%s ran in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// Stats summarizes a series of duration samples.
+type Stats struct {
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	Min  time.Duration
+	Max  time.Duration
+}
+
+// Measure runs fn n times and summarizes the per-call latency.
+func Measure(n int, fn func() error) (Stats, error) {
+	samples := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Stats{}, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return Summarize(samples), nil
+}
+
+// Summarize computes order statistics for a sample set.
+func Summarize(samples []time.Duration) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	q := func(p float64) time.Duration {
+		idx := int(p*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return Stats{
+		N:    len(sorted),
+		Mean: sum / time.Duration(len(sorted)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Dur formats a duration compactly for table cells.
+func Dur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(ratio float64) string { return fmt.Sprintf("%.2f%%", ratio*100) }

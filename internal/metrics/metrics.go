@@ -1,0 +1,186 @@
+// Package metrics provides cheap counters and latency recorders shared by
+// every layer of the DataLinks stack. The experiment harness reads them to
+// report deterministic per-operation costs (upcalls, syscalls, archive jobs)
+// alongside wall-clock timings.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Histogram records durations and reports simple order statistics.
+// It keeps every sample; experiments are small enough that this is fine and
+// it keeps percentiles exact.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = nil
+	h.mu.Unlock()
+}
+
+// Mean returns the mean of the recorded samples, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples, or 0 if empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max time.Duration
+	for _, s := range h.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Registry is a named collection of counters and histograms. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	frozen bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ResetAll zeroes every counter and clears every histogram.
+func (r *Registry) ResetAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Snapshot returns counter values keyed by name, for test assertions.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.ctrs))
+	for name, c := range r.ctrs {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders all counters sorted by name, one per line.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%-40s %d\n", n, snap[n])
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10_000 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := h.Quantile(0.5); p != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Quantile(0.95); p != 95*time.Millisecond {
+		t.Fatalf("p95 = %v", p)
+	}
+	if max := h.Max(); max != 100*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestRegistryReuseAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	r.Counter("b").Add(3)
+	r.Histogram("h").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if !strings.Contains(r.String(), "a") {
+		t.Fatal("String missing counter")
+	}
+	r.ResetAll()
+	if r.Counter("a").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("ResetAll incomplete")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 4000 {
+		t.Fatalf("shared = %d", r.Counter("shared").Value())
+	}
+}

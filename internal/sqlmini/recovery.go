@@ -1,0 +1,246 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"datalinks/internal/wal"
+)
+
+// RecoveryReport summarizes what restart recovery did.
+type RecoveryReport struct {
+	RecordsScanned int
+	Redone         int
+	LoserTxns      []uint64
+	InDoubtTxns    []uint64
+	CommittedTxns  []uint64
+}
+
+// Crash simulates a machine failure: the volatile log tail is discarded and
+// the database becomes unusable. The returned log is the durable prefix a
+// restart would find on disk; feed it to Recover.
+func (db *DB) Crash() *wal.Log {
+	return db.log.Crash()
+}
+
+// Recover performs ARIES-style restart recovery from a durable log: analysis
+// (classify transactions), redo (replay history), undo (roll back losers).
+// Prepared (in-doubt) transactions are redone, re-locked, and left pending
+// for ResolveInDoubt — the 2PC coordinator decides their fate.
+func Recover(durable *wal.Log, opts Options) (*DB, *RecoveryReport, error) {
+	opts.Log = durable
+	db := NewDB(opts)
+	rep := &RecoveryReport{}
+
+	// Analysis pass.
+	type txnInfo struct {
+		state   TxnState
+		lastLSN wal.LSN
+		ended   bool
+	}
+	txns := make(map[uint64]*txnInfo)
+	maxTxn := uint64(0)
+	err := durable.Scan(wal.NilLSN, wal.NilLSN, func(rec wal.Record) bool {
+		rep.RecordsScanned++
+		if rec.TxnID > maxTxn {
+			maxTxn = rec.TxnID
+		}
+		ti, ok := txns[rec.TxnID]
+		if !ok && rec.TxnID != 0 {
+			ti = &txnInfo{state: TxnActive}
+			txns[rec.TxnID] = ti
+		}
+		switch rec.Type {
+		case wal.RecUpdate, wal.RecCLR:
+			ti.lastLSN = rec.LSN
+		case wal.RecPrepare:
+			ti.state = TxnPrepared
+			ti.lastLSN = rec.LSN
+		case wal.RecCommit:
+			ti.state = TxnCommitted
+			ti.lastLSN = rec.LSN
+		case wal.RecAbort:
+			ti.state = TxnAborted
+		case wal.RecEnd:
+			ti.ended = true
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	db.nextTxn = maxTxn
+
+	// Redo pass: replay complete history.
+	var redoErr error
+	err = durable.Scan(wal.NilLSN, wal.NilLSN, func(rec wal.Record) bool {
+		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
+			return true
+		}
+		p, err := decodePayload(rec.Payload)
+		if err != nil {
+			redoErr = err
+			return false
+		}
+		if err := db.redoOne(p); err != nil {
+			redoErr = err
+			return false
+		}
+		rep.Redone++
+		return true
+	})
+	if err == nil {
+		err = redoErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Undo pass: roll back losers (active or mid-abort, not ended).
+	for id, ti := range txns {
+		switch {
+		case ti.state == TxnCommitted:
+			rep.CommittedTxns = append(rep.CommittedTxns, id)
+			db.outcome[id] = true
+		case ti.state == TxnAborted && ti.ended:
+			db.outcome[id] = false
+		case ti.state == TxnPrepared:
+			rep.InDoubtTxns = append(rep.InDoubtTxns, id)
+			txn := &Txn{db: db, id: id, state: TxnPrepared, lastLSN: ti.lastLSN}
+			db.active[id] = txn
+			// Re-acquire exclusive locks on everything the in-doubt txn
+			// touched so new transactions cannot see or change those rows
+			// until the coordinator resolves the outcome.
+			if err := db.relockBackchain(txn); err != nil {
+				return nil, nil, err
+			}
+		default: // loser
+			rep.LoserTxns = append(rep.LoserTxns, id)
+			if err := db.undoLoser(id, ti.lastLSN); err != nil {
+				return nil, nil, err
+			}
+			db.outcome[id] = false
+		}
+	}
+	if _, err := db.log.Append(wal.Record{Type: wal.RecCheckpoint}); err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.log.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return db, rep, nil
+}
+
+// redoOne replays a single logged change.
+func (db *DB) redoOne(p logPayload) error {
+	switch p.Op {
+	case opCreateTable:
+		_, err := db.cat.create(p.Table, p.Cols)
+		return err
+	case opDropTable:
+		return db.cat.drop(p.Table)
+	case opInsert:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		return tbl.InsertAt(p.Row, p.After)
+	case opDelete:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		tbl.Delete(p.Row)
+		return nil
+	case opUpdate:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		_, err = tbl.Update(p.Row, p.After)
+		return err
+	default:
+		return fmt.Errorf("sqlmini: cannot redo op %d", p.Op)
+	}
+}
+
+// undoLoser rolls back an unfinished transaction during recovery. If the
+// crash interrupted an abort, already-undone changes are skipped by
+// following CLR UndoLSN pointers.
+func (db *DB) undoLoser(id uint64, last wal.LSN) error {
+	cur := last
+	for cur != wal.NilLSN {
+		rec, err := db.log.Read(cur)
+		if err != nil {
+			return err
+		}
+		switch rec.Type {
+		case wal.RecCLR:
+			cur = rec.UndoLSN
+		case wal.RecUpdate:
+			if err := db.undoOne(rec, id); err != nil {
+				return err
+			}
+			cur = rec.PrevLSN
+		default:
+			cur = rec.PrevLSN
+		}
+	}
+	_, err := db.log.Append(wal.Record{Type: wal.RecEnd, TxnID: id})
+	return err
+}
+
+// relockBackchain takes X locks on every row an in-doubt transaction wrote.
+func (db *DB) relockBackchain(txn *Txn) error {
+	cur := txn.lastLSN
+	for cur != wal.NilLSN {
+		rec, err := db.log.Read(cur)
+		if err != nil {
+			return err
+		}
+		if rec.Type == wal.RecUpdate || rec.Type == wal.RecCLR {
+			p, err := decodePayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if p.Op == opInsert || p.Op == opDelete || p.Op == opUpdate {
+				if err := db.lm.Acquire(txn.id, LockTarget{Table: p.Table, Row: p.Row}, LockX); err != nil {
+					return err
+				}
+			}
+		}
+		if rec.Type == wal.RecCLR {
+			cur = rec.UndoLSN
+		} else {
+			cur = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// InDoubt lists transactions recovered in the prepared state.
+func (db *DB) InDoubt() []uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []uint64
+	for id, t := range db.active {
+		if t.state == TxnPrepared {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ResolveInDoubt finishes a prepared transaction with the coordinator's
+// verdict.
+func (db *DB) ResolveInDoubt(id uint64, commit bool) error {
+	db.mu.Lock()
+	txn, ok := db.active[id]
+	db.mu.Unlock()
+	if !ok || txn.state != TxnPrepared {
+		return fmt.Errorf("sqlmini: txn %d is not in-doubt", id)
+	}
+	if commit {
+		return txn.Commit()
+	}
+	return txn.Abort()
+}

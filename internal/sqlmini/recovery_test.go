@@ -1,0 +1,237 @@
+package sqlmini
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// recoverDB crashes db and runs restart recovery.
+func recoverDB(t *testing.T, db *DB) (*DB, *RecoveryReport) {
+	t.Helper()
+	durable := db.Crash()
+	db2, rep, err := Recover(durable, Options{LockTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return db2, rep
+}
+
+func TestRecoveryReplaysCommitted(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'one'), (2, 'two')`)
+	mustExec(t, db, `UPDATE t SET v = 'uno' WHERE id = 1`)
+	mustExec(t, db, `DELETE FROM t WHERE id = 2`)
+
+	db2, rep := recoverDB(t, db)
+	if len(rep.LoserTxns) != 0 {
+		t.Fatalf("losers = %v", rep.LoserTxns)
+	}
+	rows := mustQuery(t, db2, `SELECT id, v FROM t`)
+	if len(rows.Data) != 1 || rows.Data[0][1].S != "uno" {
+		t.Fatalf("recovered rows = %+v", rows.Data)
+	}
+}
+
+func TestRecoveryUndoesUncommitted(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+
+	// Uncommitted transaction caught by the crash.
+	txn := db.Begin()
+	txn.Exec(`UPDATE t SET v = 999 WHERE id = 1`)
+	txn.Exec(`INSERT INTO t VALUES (2, 20)`)
+	// Force the log so the loser's records are durable (worst case for undo).
+	db.Log().Flush()
+
+	db2, rep := recoverDB(t, db)
+	if len(rep.LoserTxns) != 1 {
+		t.Fatalf("losers = %v", rep.LoserTxns)
+	}
+	rows := mustQuery(t, db2, `SELECT id, v FROM t`)
+	if len(rows.Data) != 1 || rows.Data[0][0].I != 1 || rows.Data[0][1].I != 10 {
+		t.Fatalf("recovered rows = %+v", rows.Data)
+	}
+	if c, known := db2.Outcome(txn.ID()); !known || c {
+		t.Fatalf("loser outcome = %v/%v, want aborted/known", c, known)
+	}
+}
+
+func TestRecoveryLosesUnflushedCommit(t *testing.T) {
+	// A commit whose record never reached stable storage did not happen.
+	// Commit() flushes, so simulate by writing through a txn and crashing
+	// before commit — the insert records may be durable but no commit is.
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT)`)
+	txn := db.Begin()
+	txn.Exec(`INSERT INTO t VALUES (1)`)
+	db.Log().Flush() // updates durable, commit absent
+
+	db2, _ := recoverDB(t, db)
+	rows := mustQuery(t, db2, `SELECT COUNT(*) FROM t`)
+	if rows.Data[0][0].I != 0 {
+		t.Fatalf("uncommitted insert survived: %d", rows.Data[0][0].I)
+	}
+}
+
+func TestRecoveryMidAbortContinuesUndo(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10), (2, 20)`)
+
+	// Manually mimic a crash in the middle of an abort: updates logged,
+	// abort record logged, one CLR logged, then crash.
+	txn := db.Begin()
+	txn.Exec(`UPDATE t SET v = 111 WHERE id = 1`)
+	txn.Exec(`UPDATE t SET v = 222 WHERE id = 2`)
+	db.Log().Flush()
+	// Start an abort but "crash" before it completes by not letting it run:
+	// we emulate the partial abort by flushing mid-way. Full abort then crash
+	// after only the durable prefix includes part of the CLRs is equivalent.
+	go txn.Abort()
+	time.Sleep(10 * time.Millisecond)
+
+	db2, _ := recoverDB(t, db)
+	rows := mustQuery(t, db2, `SELECT id, v FROM t ORDER BY id`)
+	if len(rows.Data) != 2 || rows.Data[0][1].I != 10 || rows.Data[1][1].I != 20 {
+		t.Fatalf("rows after mid-abort recovery = %+v", rows.Data)
+	}
+}
+
+func TestRecoveryKeepsInDoubtPrepared(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+
+	txn := db.Begin()
+	txn.Exec(`UPDATE t SET v = 77 WHERE id = 1`)
+	if err := txn.Prepare(); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+
+	db2, rep := recoverDB(t, db)
+	if len(rep.InDoubtTxns) != 1 || rep.InDoubtTxns[0] != txn.ID() {
+		t.Fatalf("in-doubt = %v", rep.InDoubtTxns)
+	}
+	// The row is re-locked: readers must block/timeout.
+	if _, err := db2.Query(`SELECT v FROM t WHERE id = 1`); err == nil {
+		t.Fatal("read of in-doubt row should block")
+	}
+	// Coordinator says commit.
+	if err := db2.ResolveInDoubt(txn.ID(), true); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	rows := mustQuery(t, db2, `SELECT v FROM t WHERE id = 1`)
+	if rows.Data[0][0].I != 77 {
+		t.Fatalf("v = %d after commit resolution", rows.Data[0][0].I)
+	}
+}
+
+func TestRecoveryResolveInDoubtAbort(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+	txn := db.Begin()
+	txn.Exec(`UPDATE t SET v = 88 WHERE id = 1`)
+	txn.Prepare()
+
+	db2, _ := recoverDB(t, db)
+	if err := db2.ResolveInDoubt(txn.ID(), false); err != nil {
+		t.Fatalf("resolve abort: %v", err)
+	}
+	rows := mustQuery(t, db2, `SELECT v FROM t WHERE id = 1`)
+	if rows.Data[0][0].I != 10 {
+		t.Fatalf("v = %d after abort resolution", rows.Data[0][0].I)
+	}
+	if err := db2.ResolveInDoubt(txn.ID(), false); err == nil {
+		t.Fatal("double resolve should fail")
+	}
+}
+
+func TestRecoveryDDL(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE keepme (id INT)`)
+	mustExec(t, db, `CREATE TABLE dropme (id INT)`)
+	mustExec(t, db, `DROP TABLE dropme`)
+
+	// Uncommitted CREATE must vanish.
+	txn := db.Begin()
+	txn.Exec(`CREATE TABLE ghost (id INT)`)
+	db.Log().Flush()
+
+	db2, _ := recoverDB(t, db)
+	names := db2.TableNames()
+	if len(names) != 1 || names[0] != "keepme" {
+		t.Fatalf("tables after recovery = %v", names)
+	}
+}
+
+func TestRecoveryAfterRecoveryIsStable(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 1)`)
+	db2, _ := recoverDB(t, db)
+	mustExec(t, db2, `INSERT INTO t VALUES (2, 2)`)
+	db3, _ := recoverDB(t, db2)
+	rows := mustQuery(t, db3, `SELECT COUNT(*) FROM t`)
+	if rows.Data[0][0].I != 2 {
+		t.Fatalf("double recovery count = %d", rows.Data[0][0].I)
+	}
+	// New transactions keep working post-recovery.
+	mustExec(t, db3, `INSERT INTO t VALUES (3, 3)`)
+}
+
+// Property: for any interleaving of committed and aborted increments, with
+// one in-flight increment caught by the crash, the recovered counter equals
+// the number of committed increments. (Uncommitted work other than the final
+// in-flight transaction is aborted through the normal path: strict 2PL means
+// only one writer can be in flight at the instant of the crash.)
+func TestRecoveryCounterProperty(t *testing.T) {
+	prop := func(pattern []bool, inflight bool) bool {
+		if len(pattern) > 25 {
+			pattern = pattern[:25]
+		}
+		db := NewDB(Options{LockTimeout: 500 * time.Millisecond})
+		db.MustExec(`CREATE TABLE c (id INT PRIMARY KEY, n INT)`)
+		db.MustExec(`INSERT INTO c VALUES (1, 0)`)
+		want := int64(0)
+		for _, commit := range pattern {
+			txn := db.Begin()
+			if _, err := txn.Exec(`UPDATE c SET n = n + 1 WHERE id = 1`); err != nil {
+				return false
+			}
+			if commit {
+				if err := txn.Commit(); err != nil {
+					return false
+				}
+				want++
+			} else {
+				if err := txn.Abort(); err != nil {
+					return false
+				}
+			}
+		}
+		if inflight {
+			txn := db.Begin()
+			if _, err := txn.Exec(`UPDATE c SET n = n + 1 WHERE id = 1`); err != nil {
+				return false
+			}
+			db.Log().Flush() // its records are durable, its commit is not
+		}
+		durable := db.Crash()
+		db2, _, err := Recover(durable, Options{})
+		if err != nil {
+			return false
+		}
+		rows, err := db2.Query(`SELECT n FROM c WHERE id = 1`)
+		if err != nil || len(rows.Data) != 1 {
+			return false
+		}
+		return rows.Data[0][0].I == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package upcall implements the IPC channel between the DataLinks File
+// System (a VFS layer, conceptually in the kernel) and the DLFM upcall
+// daemon (user space) — the dashed arrow in Figure 1 of the paper.
+//
+// Every design decision in §4 revolves around when this channel must be
+// crossed: token validation at lookup, token-entry checks at open, update
+// bookkeeping at write-open and close, and link checks on remove/rename.
+// The package therefore counts calls per operation and can inject a fixed
+// latency so experiments reproduce the paper's IPC-cost trade-offs on
+// modern hardware.
+//
+// Two transports are provided: a direct in-process transport and a TCP
+// transport (encoding/gob) for running DLFM as a separate process.
+package upcall
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"datalinks/internal/metrics"
+)
+
+// Op identifies the upcall operation.
+type Op uint8
+
+// Upcall operations, one per DLFS interposition point.
+const (
+	OpValidateToken Op = iota + 1 // fs_lookup with an embedded token
+	OpCheckOpen                   // fs_open of a DLFM-owned (full control) file
+	OpWriteOpen                   // fs_open for write after a native EACCES (rfd path)
+	OpClose                       // fs_close of a tracked open
+	OpCheckRemove                 // fs_remove of any file
+	OpCheckRename                 // fs_rename of any file
+	OpReadOpen                    // read-open notification (full control: sync entry)
+)
+
+// String names the op for metrics and traces.
+func (o Op) String() string {
+	switch o {
+	case OpValidateToken:
+		return "validate_token"
+	case OpCheckOpen:
+		return "check_open"
+	case OpWriteOpen:
+		return "write_open"
+	case OpClose:
+		return "close"
+	case OpCheckRemove:
+		return "check_remove"
+	case OpCheckRename:
+		return "check_rename"
+	case OpReadOpen:
+		return "read_open"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one upcall from DLFS to DLFM.
+type Request struct {
+	Op      Op
+	Path    string // server-relative file path
+	NewPath string // rename target
+	Token   string // embedded access token, if any
+	UID     int32  // credentials of the application process
+	Write   bool   // open access includes write
+	OpenID  uint64 // correlation id assigned at open approval, echoed at close
+	Size    int64  // close: file size after the open-close window
+	Mtime   int64  // close: mtime (unix nanos) after the window
+	Strict  bool   // strict-link-check extension: register opens of unlinked files
+}
+
+// Response is DLFM's answer.
+type Response struct {
+	OK       bool
+	Err      string // human-readable rejection reason when !OK
+	Code     Code   // machine-readable rejection class
+	OpenID   uint64 // correlation id for approved opens
+	TakeOver bool   // DLFS must retry the physical open with system credentials
+}
+
+// Code classifies rejections so DLFS can map them to errno-style errors.
+type Code uint8
+
+// Rejection codes.
+const (
+	CodeOK Code = iota
+	CodeNotLinked
+	CodePermission
+	CodeBadToken
+	CodeBusy
+	CodeIntegrity
+	CodeInternal
+)
+
+// Service is the DLFM upcall daemon's interface.
+type Service interface {
+	Upcall(req Request) (Response, error)
+}
+
+// ErrTransport reports a broken transport (daemon down).
+var ErrTransport = errors.New("upcall: transport failure")
+
+// Transport is a Service that carries calls to a remote Service while
+// recording metrics and injecting simulated IPC latency.
+type Transport struct {
+	svc     Service
+	latency time.Duration
+	reg     *metrics.Registry
+}
+
+// NewInProc wraps a Service with metrics and optional injected latency,
+// modelling same-machine IPC (the production DLFS↔DLFM configuration).
+func NewInProc(svc Service, latency time.Duration, reg *metrics.Registry) *Transport {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Transport{svc: svc, latency: latency, reg: reg}
+}
+
+// Upcall forwards the request, counting and timing it.
+func (t *Transport) Upcall(req Request) (Response, error) {
+	start := time.Now()
+	if t.latency > 0 {
+		time.Sleep(t.latency)
+	}
+	resp, err := t.svc.Upcall(req)
+	t.reg.Counter("upcall." + req.Op.String()).Inc()
+	t.reg.Counter("upcall.total").Inc()
+	t.reg.Histogram("upcall.latency").Observe(time.Since(start))
+	return resp, err
+}
+
+// Metrics exposes the transport's registry.
+func (t *Transport) Metrics() *metrics.Registry { return t.reg }
+
+// SetLatency changes the injected IPC latency (experiments sweep this).
+func (t *Transport) SetLatency(d time.Duration) { t.latency = d }
+
+// Calls returns the total number of upcalls made so far.
+func (t *Transport) Calls() int64 { return t.reg.Counter("upcall.total").Value() }
+
+// CallsFor returns the upcall count for one operation.
+func (t *Transport) CallsFor(op Op) int64 {
+	return t.reg.Counter("upcall." + op.String()).Value()
+}
+
+// Reset zeroes all transport metrics.
+func (t *Transport) Reset() { t.reg.ResetAll() }
+
+// ---- TCP transport ----
+
+// wire is the gob envelope.
+type wire struct {
+	Req  Request
+	Resp Response
+	Err  string
+}
+
+// Server serves a Service over TCP.
+type Server struct {
+	svc Service
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func Serve(svc Service, addr string) (*Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var w wire
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		resp, err := s.svc.Upcall(w.Req)
+		out := wire{Resp: resp}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if err := enc.Encode(&out); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server: the listener and every active connection are
+// closed, then in-flight handlers drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// Client is a Service talking to a remote Server over one TCP connection.
+// Calls are serialized; the DLFS kernel path is naturally serialized per
+// upcall anyway.
+type Client struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Upcall sends the request and waits for the response, reconnecting once on
+// a broken connection.
+func (c *Client) Upcall(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				return Response{}, err
+			}
+		}
+		if err := c.enc.Encode(&wire{Req: req}); err == nil {
+			var w wire
+			if err := c.dec.Decode(&w); err == nil {
+				if w.Err != "" {
+					return w.Resp, errors.New(w.Err)
+				}
+				return w.Resp, nil
+			}
+		}
+		c.conn.Close()
+		c.conn = nil
+		if attempt >= 1 {
+			return Response{}, fmt.Errorf("%w: connection lost to %s", ErrTransport, c.addr)
+		}
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

@@ -1,0 +1,190 @@
+package upcall
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoService answers every upcall with a canned response and records calls.
+type echoService struct {
+	mu    sync.Mutex
+	calls []Request
+	resp  Response
+	err   error
+}
+
+func (e *echoService) Upcall(req Request) (Response, error) {
+	e.mu.Lock()
+	e.calls = append(e.calls, req)
+	e.mu.Unlock()
+	return e.resp, e.err
+}
+
+func TestInProcTransportCountsAndForwards(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true, OpenID: 42}}
+	tr := NewInProc(svc, 0, nil)
+	resp, err := tr.Upcall(Request{Op: OpValidateToken, Path: "/f", Token: "tok"})
+	if err != nil || !resp.OK || resp.OpenID != 42 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	tr.Upcall(Request{Op: OpClose})
+	if tr.Calls() != 2 {
+		t.Fatalf("calls = %d", tr.Calls())
+	}
+	if tr.CallsFor(OpValidateToken) != 1 || tr.CallsFor(OpClose) != 1 {
+		t.Fatalf("per-op counts wrong")
+	}
+	tr.Reset()
+	if tr.Calls() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestInProcLatencyInjection(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	tr := NewInProc(svc, 5*time.Millisecond, nil)
+	start := time.Now()
+	tr.Upcall(Request{Op: OpReadOpen})
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("latency not injected: %v", d)
+	}
+	tr.SetLatency(0)
+	start = time.Now()
+	tr.Upcall(Request{Op: OpReadOpen})
+	if d := time.Since(start); d > 3*time.Millisecond {
+		t.Fatalf("latency not cleared: %v", d)
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true, OpenID: 7, TakeOver: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	resp, err := client.Upcall(Request{
+		Op: OpWriteOpen, Path: "/data/x", UID: 9, Write: true, Size: 123, Mtime: 456,
+	})
+	if err != nil {
+		t.Fatalf("upcall: %v", err)
+	}
+	if !resp.OK || resp.OpenID != 7 || !resp.TakeOver {
+		t.Fatalf("resp = %+v", resp)
+	}
+	svc.mu.Lock()
+	got := svc.calls[0]
+	svc.mu.Unlock()
+	if got.Path != "/data/x" || got.UID != 9 || !got.Write || got.Size != 123 || got.Mtime != 456 {
+		t.Fatalf("request fields lost in transit: %+v", got)
+	}
+}
+
+func TestTCPTransportServiceError(t *testing.T) {
+	svc := &echoService{err: errors.New("daemon exploded")}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); err == nil || err.Error() != "daemon exploded" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPTransportManySequentialCalls(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := client.Upcall(Request{Op: OpReadOpen, OpenID: uint64(i)}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	svc.mu.Lock()
+	n := len(svc.calls)
+	svc.mu.Unlock()
+	if n != 200 {
+		t.Fatalf("served %d calls", n)
+	}
+}
+
+func TestTCPTransportConcurrentClients(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := client.Upcall(Request{Op: OpCheckRemove}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClientErrorAfterServerClose(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	server.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); !errors.Is(err, ErrTransport) {
+		t.Fatalf("err after close = %v, want ErrTransport", err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpValidateToken, OpCheckOpen, OpWriteOpen, OpClose, OpCheckRemove, OpCheckRename, OpReadOpen}
+	seen := make(map[string]bool)
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has bad/duplicate string %q", op, s)
+		}
+		seen[s] = true
+	}
+}

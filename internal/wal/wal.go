@@ -1,0 +1,226 @@
+// Package wal implements a write-ahead log with LSN addressing, per-transaction
+// backchaining, group flush, and crash simulation. Both the host database
+// (internal/sqlmini) and the DLFM repository log through this package.
+//
+// The log models stable storage explicitly: records appended with Append are
+// buffered and volatile until Flush (or an Append with the force flag) makes
+// them durable. Crash() discards the volatile tail, exactly what a power
+// failure would do, which lets recovery tests exercise every interleaving of
+// "logged but not forced".
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LSN is a log sequence number. LSNs start at 1; 0 means "nil LSN".
+type LSN uint64
+
+// NilLSN is the zero LSN, used as the PrevLSN of a transaction's first record.
+const NilLSN LSN = 0
+
+// RecType identifies the kind of a log record.
+type RecType uint8
+
+// Log record types. Update carries both redo and undo images. CLR is a
+// compensation record written while rolling back; it is redo-only.
+const (
+	RecBegin RecType = iota + 1
+	RecUpdate
+	RecCommit
+	RecAbort
+	RecEnd
+	RecCLR
+	RecCheckpoint
+	RecPrepare // transaction entered the prepared (in-doubt) state of 2PC
+)
+
+// String returns a human-readable name for the record type.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecEnd:
+		return "END"
+	case RecCLR:
+		return "CLR"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	case RecPrepare:
+		return "PREPARE"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Record is a single log record. Payload encoding is the client's business:
+// sqlmini stores row images, DLFM stores repository mutations.
+type Record struct {
+	LSN     LSN
+	Type    RecType
+	TxnID   uint64
+	PrevLSN LSN // previous record of the same transaction (backchain)
+	UndoLSN LSN // for CLR: the next record to undo (UndoNxtLSN in ARIES)
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is an append-only write-ahead log. Safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	records  []Record // records[i] has LSN i+1
+	flushed  LSN      // highest durable LSN
+	closed   bool
+	flushCnt int64
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds a record to the log buffer and returns its LSN. The record is
+// not durable until Flush (or FlushTo covering it) is called.
+func (l *Log) Append(rec Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return NilLSN, ErrClosed
+	}
+	rec.LSN = LSN(len(l.records) + 1)
+	// Copy the payload so the caller may reuse its buffer.
+	if rec.Payload != nil {
+		p := make([]byte, len(rec.Payload))
+		copy(p, rec.Payload)
+		rec.Payload = p
+	}
+	l.records = append(l.records, rec)
+	return rec.LSN, nil
+}
+
+// Flush makes every appended record durable and returns the tail LSN.
+func (l *Log) Flush() (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return NilLSN, ErrClosed
+	}
+	l.flushed = LSN(len(l.records))
+	l.flushCnt++
+	return l.flushed, nil
+}
+
+// FlushTo makes records up to and including lsn durable. Flushing an LSN that
+// is already durable is a no-op (group commit piggybacking).
+func (l *Log) FlushTo(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if lsn > LSN(len(l.records)) {
+		return fmt.Errorf("wal: flush to %d beyond tail %d", lsn, len(l.records))
+	}
+	if lsn > l.flushed {
+		l.flushed = lsn
+		l.flushCnt++
+	}
+	return nil
+}
+
+// TailLSN returns the LSN of the most recently appended record (durable or not).
+func (l *Log) TailLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(len(l.records))
+}
+
+// DurableLSN returns the highest LSN guaranteed to survive a crash.
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// FlushCount reports how many physical flushes have been issued; benchmarks
+// use it to show group-commit batching.
+func (l *Log) FlushCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushCnt
+}
+
+// Read returns the record at the given LSN.
+func (l *Log) Read(lsn LSN) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == NilLSN || lsn > LSN(len(l.records)) {
+		return Record{}, fmt.Errorf("wal: no record at LSN %d", lsn)
+	}
+	return l.records[lsn-1], nil
+}
+
+// Scan calls fn on every record in [from, to] in LSN order. A zero `to`
+// means the current tail. Scanning stops early if fn returns false.
+func (l *Log) Scan(from, to LSN, fn func(Record) bool) error {
+	l.mu.Lock()
+	recs := l.records
+	tail := LSN(len(recs))
+	l.mu.Unlock()
+	if from == NilLSN {
+		from = 1
+	}
+	if to == NilLSN || to > tail {
+		to = tail
+	}
+	for lsn := from; lsn <= to; lsn++ {
+		if !fn(recs[lsn-1]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Prefix returns a new, fully durable log holding the records with LSN <= to.
+// Point-in-time restore rebuilds a database from such a prefix (§4.4 of the
+// paper: restore the database to a previous state, then restore the files
+// according to the restored state identifier).
+func (l *Log) Prefix(to LSN) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if to > LSN(len(l.records)) {
+		to = LSN(len(l.records))
+	}
+	return &Log{
+		records: append([]Record(nil), l.records[:to]...),
+		flushed: to,
+	}
+}
+
+// Crash simulates a machine failure: it returns a new Log containing only the
+// durable prefix and marks the original closed so stray writers error out.
+func (l *Log) Crash() *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	recovered := &Log{
+		records: append([]Record(nil), l.records[:l.flushed]...),
+		flushed: l.flushed,
+	}
+	return recovered
+}
+
+// Close marks the log closed. Further appends fail.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}

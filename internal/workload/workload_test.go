@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"datalinks/internal/fs"
+)
+
+func TestSeedCreatesOwnedFiles(t *testing.T) {
+	phys := fs.New()
+	pop, err := Seed(phys, "/data", 5, 256, 42, RNG(1))
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if len(pop.Paths) != 5 {
+		t.Fatalf("paths = %v", pop.Paths)
+	}
+	for _, p := range pop.Paths {
+		ino, err := phys.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", p, err)
+		}
+		attr, _ := phys.Getattr(ino)
+		if attr.UID != 42 || attr.Size != 256 || attr.Mode != 0o644 {
+			t.Fatalf("attr of %s = %+v", p, attr)
+		}
+	}
+	if pop.URL("srv", 0) != "dlfs://srv/data/file0000.dat" {
+		t.Fatalf("url = %s", pop.URL("srv", 0))
+	}
+}
+
+func TestContentDeterministic(t *testing.T) {
+	a := Content(RNG(7), 128)
+	b := Content(RNG(7), 128)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different content")
+	}
+	c := Content(RNG(8), 128)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical content")
+	}
+}
+
+func TestUniformContentAndTornCheck(t *testing.T) {
+	v3 := UniformContent(64, 3)
+	clean, fill := TornCheck(v3)
+	if !clean || fill != 'D' {
+		t.Fatalf("clean=%v fill=%c", clean, fill)
+	}
+	mixed := append(UniformContent(32, 1), UniformContent(32, 2)...)
+	if clean, _ := TornCheck(mixed); clean {
+		t.Fatal("mixed content reported clean")
+	}
+	if clean, _ := TornCheck(nil); !clean {
+		t.Fatal("empty content should be clean")
+	}
+}
+
+func TestZipfSkewsTowardsLowIndexes(t *testing.T) {
+	z := NewZipf(RNG(3), 100)
+	counts := make(map[int]int)
+	for i := 0; i < 10_000; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("no skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfSingleFile(t *testing.T) {
+	z := NewZipf(RNG(1), 1)
+	for i := 0; i < 10; i++ {
+		if z.Next() != 0 {
+			t.Fatal("single-file zipf must return 0")
+		}
+	}
+}
