@@ -8,12 +8,19 @@
 //	dlbench -exp E6         # run one experiment
 //	dlbench -list           # list experiments
 //	dlbench -markdown       # render results as markdown (EXPERIMENTS.md body)
+//
+// The E13 concurrency experiment (aggregate throughput and lock contention
+// counters vs concurrent sessions) is configurable:
+//
+//	dlbench -exp E13 -sessions 1,8,32 -servers 4 -ops 200 -upcall-latency 500us
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"datalinks/internal/harness"
 )
@@ -23,8 +30,34 @@ func main() {
 		exp      = flag.String("exp", "", "run a single experiment by id (e.g. T1, E6)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		sessions = flag.String("sessions", "", "E13: comma-separated concurrent session counts (e.g. 1,4,16)")
+		servers  = flag.Int("servers", 0, "E13: number of file servers")
+		ops      = flag.Int("ops", 0, "E13: operations per session")
+		upcallMs = flag.Duration("upcall-latency", -1, "E13: simulated DLFS→DLFM IPC latency (e.g. 200us)")
 	)
 	flag.Parse()
+
+	if *sessions != "" {
+		var counts []int
+		for _, part := range strings.Split(*sessions, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dlbench: bad -sessions value %q\n", part)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		harness.ConcurrencySessions = counts
+	}
+	if *servers > 0 {
+		harness.ConcurrencyServers = *servers
+	}
+	if *ops > 0 {
+		harness.ConcurrencyOps = *ops
+	}
+	if *upcallMs >= 0 {
+		harness.ConcurrencyUpcallLatency = *upcallMs
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -97,6 +97,11 @@ func main() {
 				break
 			}
 		}
+		// Let the archiver drain before the next revision — and give the
+		// web-server goroutine a window to serve (on a single-CPU box the
+		// editor would otherwise publish all revisions before the reader
+		// is ever scheduled).
+		fsrv.WaitArchives()
 	}
 	close(stop)
 	wg.Wait()

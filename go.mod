@@ -1,0 +1,3 @@
+module datalinks
+
+go 1.22

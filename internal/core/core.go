@@ -91,8 +91,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if len(cfg.TokenKey) == 0 {
 		cfg.TokenKey = []byte("datalinks-shared-secret")
 	}
-	db := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.LockTimeout})
-	eng := engine.New(db, engine.Options{Clock: cfg.Clock})
+	reg := metrics.NewRegistry()
+	db := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.LockTimeout, Metrics: reg})
+	eng := engine.New(db, engine.Options{Clock: cfg.Clock, Metrics: reg})
 	sys := &System{
 		DB:      db,
 		Engine:  eng,

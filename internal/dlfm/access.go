@@ -19,7 +19,11 @@ var _ upcall.Service = (*Server)(nil)
 
 // Upcall dispatches one request from DLFS.
 func (s *Server) Upcall(req upcall.Request) (upcall.Response, error) {
-	s.cfg.Metrics.Counter("dlfm.upcall." + req.Op.String()).Inc()
+	if req.Op > 0 && req.Op < upcallOpRange {
+		s.upcallCtrs[req.Op].Inc()
+	} else {
+		s.cfg.Metrics.Counter("dlfm.upcall." + req.Op.String()).Inc()
+	}
 	switch req.Op {
 	case upcall.OpValidateToken:
 		return s.validateToken(req), nil
@@ -48,26 +52,33 @@ func (s *Server) validateToken(req upcall.Request) upcall.Response {
 	if err != nil {
 		return reject(upcall.CodeBadToken, fmt.Sprintf("token rejected for %s: %v", req.Path, err))
 	}
-	s.mu.Lock()
+	s.tokMu.Lock()
 	key := tokenKey{uid: fs.UID(req.UID), path: req.Path}
 	// Keep the strongest live grant: a write token subsumes a read token.
 	if cur, ok := s.tokens[key]; !ok || tok.Type.Covers(cur.typ) {
 		s.tokens[key] = tokenEntry{typ: tok.Type, expiry: tok.Expiry}
 	}
-	s.mu.Unlock()
+	s.tokMu.Unlock()
 	return upcall.Response{OK: true}
 }
 
-// tokenGrant returns the live token entry for (uid, path), if any.
+// tokenGrant returns the live token entry for (uid, path), if any. The fast
+// path is a shared-lock read; the exclusive lock is taken only to purge an
+// expired entry.
 func (s *Server) tokenGrant(uid fs.UID, path string) (tokenEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.tokens[tokenKey{uid: uid, path: path}]
+	key := tokenKey{uid: uid, path: path}
+	s.tokMu.RLock()
+	e, ok := s.tokens[key]
+	s.tokMu.RUnlock()
 	if !ok {
 		return tokenEntry{}, false
 	}
 	if s.cfg.Clock().After(e.expiry) {
-		delete(s.tokens, tokenKey{uid: uid, path: path})
+		s.tokMu.Lock()
+		if cur, still := s.tokens[key]; still && cur.expiry.Equal(e.expiry) {
+			delete(s.tokens, key)
+		}
+		s.tokMu.Unlock()
 		return tokenEntry{}, false
 	}
 	return e, true
@@ -166,31 +177,32 @@ func (s *Server) syncFor(path string) *syncState {
 	return st
 }
 
-// waitLocked blocks (holding s.mu via the condition variable) until pred
-// holds for the path's sync state and no archive is in flight, or the
-// configured open-wait deadline passes. Returns false on timeout.
+// waitLocked blocks until pred holds for the path's sync state and no
+// archive is in flight for it, or the configured open-wait deadline passes.
+// Returns false on timeout. Caller holds s.mu on entry and exit; the wait
+// itself parks on the path's own channel, so only changes to THIS path (or
+// the deadline) wake it.
 func (s *Server) waitLocked(path string, pred func(*syncState) bool) bool {
 	deadline := time.Now().Add(s.cfg.OpenWait)
 	for {
 		st := s.syncFor(path)
-		if pred(st) && !s.archiving[path] {
+		if pred(st) && !st.archiving {
 			return true
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return false
 		}
-		// Timed wait: poke the condition variable after a short interval so
-		// deadline expiry is noticed even with no state change.
-		done := make(chan struct{})
-		go func() {
-			select {
-			case <-done:
-			case <-time.After(10 * time.Millisecond):
-				s.cond.Broadcast()
-			}
-		}()
-		s.cond.Wait()
-		close(done)
+		ch := make(chan struct{})
+		st.waiters = append(st.waiters, ch)
+		s.mu.Unlock()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+		s.mu.Lock()
 	}
 }
 
@@ -215,7 +227,7 @@ func (s *Server) SyncEntries(path string) (readers int, writer bool) {
 
 // TokenEntryCount reports live token entries (tests).
 func (s *Server) TokenEntryCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tokMu.RLock()
+	defer s.tokMu.RUnlock()
 	return len(s.tokens)
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datalinks/internal/archive"
@@ -22,8 +23,13 @@ import (
 	"datalinks/internal/metrics"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
+	"datalinks/internal/upcall"
 	"datalinks/internal/wal"
 )
+
+// upcallOpRange bounds the upcall.Op space for the counter cache (ops are
+// small consecutive constants starting at 1).
+const upcallOpRange = upcall.OpReadOpen + 1
 
 // DefaultUID is the well-known uid the DLFM process runs as; file takeover
 // (§4) transfers ownership to this uid.
@@ -81,9 +87,29 @@ type openState struct {
 
 // syncState is the in-memory image of the Sync table rows for one file
 // (§4.5). Entries are volatile: a crash ends every open.
+//
+// Each path carries its own wait queue: an open blocked on this file's
+// writer or archive job parks on a channel here and is woken only when THIS
+// path's state changes — there is no server-wide broadcast, so traffic on
+// one file never wakes (or delays) openers of another.
 type syncState struct {
-	readers map[uint64]bool // openID set
-	writer  uint64          // openID, 0 if none
+	readers   map[uint64]bool // openID set
+	writer    uint64          // openID, 0 if none
+	archiving bool            // an archive job for this path is in flight
+	waiters   []chan struct{}
+}
+
+// wake releases every waiter parked on this path's state.
+func (st *syncState) wake() {
+	for _, ch := range st.waiters {
+		close(ch)
+	}
+	st.waiters = nil
+}
+
+// idle reports whether the state carries no information and can be dropped.
+func (st *syncState) idle() bool {
+	return st.writer == 0 && len(st.readers) == 0 && !st.archiving && len(st.waiters) == 0
 }
 
 // takeoverState remembers the pre-takeover identity of a file (§4.2).
@@ -119,23 +145,34 @@ type compensation struct {
 }
 
 // Server is a DLFM instance. One per file server.
+//
+// Locking: the token table has its own read/write mutex — token validation
+// and token-entry checks (every managed open) never contend with the open/
+// sync bookkeeping under mu. Blocked opens wait on per-path channels inside
+// syncState, not on a server-wide condition variable.
 type Server struct {
 	cfg  Config
 	repo *sqlmini.DB
 	auth *token.Authority
 
+	tokMu  sync.RWMutex
+	tokens map[tokenKey]tokenEntry
+
 	mu          sync.Mutex
-	cond        *sync.Cond
-	tokens      map[tokenKey]tokenEntry
 	syncs       map[string]*syncState
 	opens       map[uint64]*openState
 	takeovers   map[string]*takeoverState
-	archiving   map[string]bool // path -> archive job in flight
 	subs        map[uint64]*subTxn
 	nextOpen    uint64
 	nextJournal int64
 	agents      int64
 	closed      bool
+
+	archJobs atomic.Int64 // archive goroutines in flight
+
+	// upcallCtrs caches the per-op dispatch counters (indexed by upcall.Op)
+	// so the upcall hot path skips the registry lookup and name formatting.
+	upcallCtrs [upcallOpRange]*metrics.Counter
 
 	wg sync.WaitGroup
 }
@@ -160,7 +197,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	repo := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, Log: cfg.RepoLog, LockTimeout: cfg.OpenWait})
+	repo := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, Log: cfg.RepoLog, LockTimeout: cfg.OpenWait, Metrics: cfg.Metrics})
 	s := &Server{
 		cfg:       cfg,
 		repo:      repo,
@@ -169,10 +206,11 @@ func New(cfg Config) (*Server, error) {
 		syncs:     make(map[string]*syncState),
 		opens:     make(map[uint64]*openState),
 		takeovers: make(map[string]*takeoverState),
-		archiving: make(map[string]bool),
 		subs:      make(map[uint64]*subTxn),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	for op := upcall.Op(1); op < upcallOpRange; op++ {
+		s.upcallCtrs[op] = cfg.Metrics.Counter("dlfm.upcall." + op.String())
+	}
 	if cfg.RepoLog == nil {
 		if err := s.createRepoTables(); err != nil {
 			return nil, err

@@ -44,7 +44,7 @@ type RecoveryReport struct {
 // cfg must reference the same physical file system and archive store, which
 // survive the crash as "disk" state.
 func Recover(cfg Config, crashedLog *wal.Log) (*Server, *RecoveryReport, error) {
-	repo, repoRep, err := sqlmini.Recover(crashedLog, sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.OpenWait})
+	repo, repoRep, err := sqlmini.Recover(crashedLog, sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.OpenWait, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, nil, fmt.Errorf("dlfm: repository recovery: %w", err)
 	}

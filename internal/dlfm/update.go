@@ -104,7 +104,8 @@ func (s *Server) releaseTakeover(path string, fi fileInfo) error {
 	return s.restoreLinkState(path, fi)
 }
 
-// dropOpen discards open and sync state for an open id.
+// dropOpen discards open and sync state for an open id, waking only the
+// opens parked on that path.
 func (s *Server) dropOpen(id uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -118,11 +119,11 @@ func (s *Server) dropOpen(id uint64) {
 		if sy.writer == id {
 			sy.writer = 0
 		}
-		if sy.writer == 0 && len(sy.readers) == 0 {
+		sy.wake()
+		if sy.idle() {
 			delete(s.syncs, st.path)
 		}
 	}
-	s.cond.Broadcast()
 }
 
 // clearUpdateEntry removes the durable update row for a path.
@@ -268,16 +269,23 @@ func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) 
 		content = nil
 	}
 	s.mu.Lock()
-	s.archiving[path] = true
+	s.syncFor(path).archiving = true
 	s.mu.Unlock()
+	s.archJobs.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer func() {
 			s.mu.Lock()
-			delete(s.archiving, path)
+			if sy, ok := s.syncs[path]; ok {
+				sy.archiving = false
+				sy.wake()
+				if sy.idle() {
+					delete(s.syncs, path)
+				}
+			}
 			s.mu.Unlock()
-			s.cond.Broadcast()
+			s.archJobs.Add(-1)
 		}()
 		// A simulated machine crash (CrashRepo) can race this job; the
 		// repository rejects writes after the crash, which surfaces as a
@@ -301,13 +309,7 @@ func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) 
 // WaitArchives blocks until all in-flight archive jobs complete (tests and
 // orderly shutdown).
 func (s *Server) WaitArchives() {
-	for {
-		s.mu.Lock()
-		busy := len(s.archiving) > 0
-		s.mu.Unlock()
-		if !busy {
-			return
-		}
+	for s.archJobs.Load() > 0 {
 		time.Sleep(time.Millisecond)
 	}
 }

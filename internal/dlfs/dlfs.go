@@ -46,6 +46,22 @@ type Config struct {
 // DLFS is the interposing file system. It implements vfs.FileSystem.
 type DLFS struct {
 	cfg Config
+	ctr dlfsCounters
+}
+
+// dlfsCounters caches the hot-path counters so open/lookup traffic does a
+// single atomic add instead of a registry lookup per operation.
+type dlfsCounters struct {
+	tokenValidated   *metrics.Counter
+	tokenRejected    *metrics.Counter
+	openReadNative   *metrics.Counter
+	openNative       *metrics.Counter
+	openNativeStrict *metrics.Counter
+	openWriteLazy    *metrics.Counter
+	openWriteManaged *metrics.Counter
+	openReadManaged  *metrics.Counter
+	removeRejected   *metrics.Counter
+	renameRejected   *metrics.Counter
 }
 
 // New builds a DLFS over a physical file system and an upcall transport.
@@ -53,7 +69,21 @@ func New(cfg Config) *DLFS {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &DLFS{cfg: cfg}
+	return &DLFS{
+		cfg: cfg,
+		ctr: dlfsCounters{
+			tokenValidated:   cfg.Metrics.Counter("dlfs.token.validated"),
+			tokenRejected:    cfg.Metrics.Counter("dlfs.token.rejected"),
+			openReadNative:   cfg.Metrics.Counter("dlfs.open.read.native"),
+			openNative:       cfg.Metrics.Counter("dlfs.open.native"),
+			openNativeStrict: cfg.Metrics.Counter("dlfs.open.native.strict"),
+			openWriteLazy:    cfg.Metrics.Counter("dlfs.open.write.lazy_upcall"),
+			openWriteManaged: cfg.Metrics.Counter("dlfs.open.write.managed"),
+			openReadManaged:  cfg.Metrics.Counter("dlfs.open.read.managed"),
+			removeRejected:   cfg.Metrics.Counter("dlfs.remove.rejected"),
+			renameRejected:   cfg.Metrics.Counter("dlfs.rename.rejected"),
+		},
+	}
 }
 
 var _ vfs.FileSystem = (*DLFS)(nil)
@@ -108,10 +138,10 @@ func (d *DLFS) FsLookup(cred fs.Cred, name string) (vfs.Node, error) {
 			return nil, fmt.Errorf("dlfs: upcall daemon unreachable: %w", err)
 		}
 		if !resp.OK {
-			d.cfg.Metrics.Counter("dlfs.token.rejected").Inc()
+			d.ctr.tokenRejected.Inc()
 			return nil, mapCode(resp)
 		}
-		d.cfg.Metrics.Counter("dlfs.token.validated").Inc()
+		d.ctr.tokenValidated.Inc()
 	}
 	ino, err := d.cfg.Phys.Lookup(path)
 	if err != nil {
@@ -156,7 +186,7 @@ func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFi
 		}
 		// Read-only at the FS level: either an rfd/rfb linked file or a
 		// genuinely read-only file. Ask DLFM.
-		d.cfg.Metrics.Counter("dlfs.open.write.lazy_upcall").Inc()
+		d.ctr.openWriteLazy.Inc()
 		of, uerr := d.managedOpen(cred, n, write)
 		if uerr == nil {
 			return of, nil
@@ -174,7 +204,7 @@ func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFi
 		if err := d.cfg.Phys.OpenCheck(n.ino, cred, mode); err != nil {
 			return nil, err
 		}
-		d.cfg.Metrics.Counter("dlfs.open.read.native").Inc()
+		d.ctr.openReadNative.Inc()
 		return d.nativeOpen(cred, n, false)
 	}
 }
@@ -190,7 +220,7 @@ func (e notLinkedError) Error() string { return e.msg }
 // link processing can detect open files (§4.5 future work).
 func (d *DLFS) nativeOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, error) {
 	if !d.cfg.Strict {
-		d.cfg.Metrics.Counter("dlfs.open.native").Inc()
+		d.ctr.openNative.Inc()
 		return &openFile{write: write}, nil
 	}
 	resp, err := d.cfg.Upcall.Upcall(upcall.Request{
@@ -205,7 +235,7 @@ func (d *DLFS) nativeOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, erro
 	if !resp.OK {
 		return nil, mapCode(resp)
 	}
-	d.cfg.Metrics.Counter("dlfs.open.native.strict").Inc()
+	d.ctr.openNativeStrict.Inc()
 	return &openFile{openID: resp.OpenID, managed: true, write: write}, nil
 }
 
@@ -258,9 +288,9 @@ func (d *DLFS) managedOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, err
 			return nil, err
 		}
 		of.locked = true
-		d.cfg.Metrics.Counter("dlfs.open.write.managed").Inc()
+		d.ctr.openWriteManaged.Inc()
 	} else {
-		d.cfg.Metrics.Counter("dlfs.open.read.managed").Inc()
+		d.ctr.openReadManaged.Inc()
 	}
 	return of, nil
 }
@@ -344,7 +374,7 @@ func (d *DLFS) FsRemove(cred fs.Cred, name string) error {
 		return fmt.Errorf("dlfs: upcall daemon unreachable: %w", err)
 	}
 	if !resp.OK {
-		d.cfg.Metrics.Counter("dlfs.remove.rejected").Inc()
+		d.ctr.removeRejected.Inc()
 		return mapCode(resp)
 	}
 	return d.cfg.Phys.Remove(path, cred)
@@ -365,7 +395,7 @@ func (d *DLFS) FsRename(cred fs.Cred, oldName, newName string) error {
 		return fmt.Errorf("dlfs: upcall daemon unreachable: %w", err)
 	}
 	if !resp.OK {
-		d.cfg.Metrics.Counter("dlfs.rename.rejected").Inc()
+		d.ctr.renameRejected.Inc()
 		return mapCode(resp)
 	}
 	return d.cfg.Phys.Rename(oldPath, newPath, cred)

@@ -52,7 +52,7 @@ func (e *Engine) RestoreImage(img *BackupImage) error {
 // adoptRestoredLog rebuilds the database from a log prefix, swaps it in, and
 // reconciles the file servers.
 func (e *Engine) adoptRestoredLog(prefix *wal.Log, stateID uint64) error {
-	db, _, err := sqlmini.Recover(prefix, sqlmini.Options{Clock: e.clock})
+	db, _, err := sqlmini.Recover(prefix, sqlmini.Options{Clock: e.clock, Metrics: e.reg})
 	if err != nil {
 		return fmt.Errorf("engine: database restore: %w", err)
 	}
@@ -110,7 +110,7 @@ func (e *Engine) adoptRestoredLog(prefix *wal.Log, stateID uint64) error {
 // recovered outcome map.
 func (e *Engine) RecoverHost() error {
 	durable := e.db.Crash()
-	db, _, err := sqlmini.Recover(durable, sqlmini.Options{Clock: e.clock})
+	db, _, err := sqlmini.Recover(durable, sqlmini.Options{Clock: e.clock, Metrics: e.reg})
 	if err != nil {
 		return fmt.Errorf("engine: host recovery: %w", err)
 	}

@@ -9,6 +9,21 @@
 // The file system is "the disk": it survives simulated crashes as-is,
 // including partially written files — which is precisely why the DLFM
 // archive-restore protocol of the paper is needed for update atomicity.
+//
+// Locking is deliberately fine-grained so concurrent clients scale:
+//
+//   - treeMu, a read/write lock, guards only the namespace — the children
+//     maps, link counts and the inode-number allocator. Path resolution takes
+//     it shared; create/remove/rename take it exclusive, briefly.
+//   - Every inode carries its own read/write lock (Inode.mu) guarding its
+//     attributes and data. Content reads copy under the inode's read lock
+//     only, so readers of different files — and multiple readers of the same
+//     file — never serialize against each other or against namespace ops.
+//   - Advisory locks (fs_lockctl) have a separate per-inode mutex so lock
+//     traffic on one file cannot block I/O on another.
+//   - Op counters are atomics, off every lock entirely.
+//
+// Lock order: treeMu before any Inode.mu; never two Inode.mu at once.
 package fs
 
 import (
@@ -18,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -108,15 +124,24 @@ type Attr struct {
 // pointer; all field access goes through FS methods so locking stays inside
 // the package.
 type Inode struct {
-	ino      uint64
-	typ      NodeType
-	uid      UID
-	mode     FileMode
-	mtime    time.Time
-	data     []byte
+	ino uint64   // immutable after creation
+	typ NodeType // immutable after creation
+
+	// mu guards the attribute block and file content.
+	mu    sync.RWMutex
+	uid   UID
+	mode  FileMode
+	mtime time.Time
+	data  []byte
+
+	// Namespace state, guarded by FS.treeMu.
 	children map[string]*Inode // directories only
 	nlink    int               // 0 once unlinked; data stays for open handles
-	lock     fileLock
+
+	// Advisory lock state, guarded by its own mutex so lock traffic on one
+	// file never blocks content I/O on another.
+	lkMu sync.Mutex
+	lock fileLock
 }
 
 // Ino returns the inode number, stable for the life of the file.
@@ -142,23 +167,27 @@ const (
 // Clock supplies the current time; injectable for deterministic tests.
 type Clock func() time.Time
 
+// Stats holds the op counters, read by the experiment harness as "syscall
+// counts". All fields are atomics so the hot paths never take a lock for
+// accounting.
+type Stats struct {
+	Lookups  atomic.Int64
+	Opens    atomic.Int64
+	Reads    atomic.Int64
+	Writes   atomic.Int64
+	Removes  atomic.Int64
+	Renames  atomic.Int64
+	Setattrs atomic.Int64
+}
+
 // FS is an in-memory file system. All methods are safe for concurrent use.
 type FS struct {
-	mu    sync.Mutex
-	root  *Inode
-	next  uint64
-	clock Clock
+	treeMu sync.RWMutex // namespace: children maps, nlink, inode allocator
+	root   *Inode
+	next   uint64
+	clock  Clock
 
-	// Op counters, read by the experiment harness as "syscall counts".
-	Stats struct {
-		Lookups  int64
-		Opens    int64
-		Reads    int64
-		Writes   int64
-		Removes  int64
-		Renames  int64
-		Setattrs int64
-	}
+	Stats Stats
 }
 
 // New returns an empty file system with a root directory owned by root.
@@ -204,7 +233,8 @@ func split(p string) (dir, base string) {
 	return dir, base
 }
 
-// resolve walks the tree to the inode at p. Caller must hold f.mu.
+// resolve walks the tree to the inode at p. Caller must hold f.treeMu
+// (shared or exclusive).
 func (f *FS) resolve(p string) (*Inode, error) {
 	p, err := clean(p)
 	if err != nil {
@@ -228,6 +258,7 @@ func (f *FS) resolve(p string) (*Inode, error) {
 }
 
 // permOK reports whether cred may access an inode with the given mode.
+// Caller must hold n.mu (shared or exclusive).
 func permOK(n *Inode, cred Cred, want AccessMode) bool {
 	if cred.UID == Root {
 		return true
@@ -247,24 +278,31 @@ func permOK(n *Inode, cred Cred, want AccessMode) bool {
 	return true
 }
 
+// permCheck takes the inode's read lock for a permission check.
+func permCheck(n *Inode, cred Cred, want AccessMode) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return permOK(n, cred, want)
+}
+
 // Lookup resolves a path to its inode without any permission check on the
 // target (matching UNIX fs_lookup semantics used by LFS before fs_open).
 func (f *FS) Lookup(p string) (*Inode, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Lookups++
+	f.Stats.Lookups.Add(1)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 	return f.resolve(p)
 }
 
 // OpenCheck performs the fs_open permission check against an inode. It does
 // not allocate any handle state; the LFS layer owns the open-file table.
 func (f *FS) OpenCheck(n *Inode, cred Cred, mode AccessMode) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Opens++
+	f.Stats.Opens.Add(1)
 	if n == nil {
 		return ErrInvalid
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if n.typ == TypeDir && mode&AccessWrite != 0 {
 		return ErrIsDir
 	}
@@ -276,12 +314,12 @@ func (f *FS) OpenCheck(n *Inode, cred Cred, mode AccessMode) error {
 
 // Create makes a new empty file at p owned by cred with the given mode.
 func (f *FS) Create(p string, cred Cred, mode FileMode) (*Inode, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	p, err := clean(p)
 	if err != nil {
 		return nil, err
 	}
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
 	dirPath, base := split(p)
 	dir, err := f.resolve(dirPath)
 	if err != nil {
@@ -290,7 +328,7 @@ func (f *FS) Create(p string, cred Cred, mode FileMode) (*Inode, error) {
 	if dir.typ != TypeDir {
 		return nil, ErrNotDir
 	}
-	if !permOK(dir, cred, AccessWrite) {
+	if !permCheck(dir, cred, AccessWrite) {
 		return nil, ErrPermission
 	}
 	if _, ok := dir.children[base]; ok {
@@ -306,18 +344,26 @@ func (f *FS) Create(p string, cred Cred, mode FileMode) (*Inode, error) {
 		nlink: 1,
 	}
 	dir.children[base] = n
-	dir.mtime = f.clock()
+	f.touch(dir)
 	return n, nil
+}
+
+// touch sets an inode's mtime to now under its attribute lock.
+func (f *FS) touch(n *Inode) {
+	now := f.clock()
+	n.mu.Lock()
+	n.mtime = now
+	n.mu.Unlock()
 }
 
 // Mkdir creates a directory at p.
 func (f *FS) Mkdir(p string, cred Cred, mode FileMode) (*Inode, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	p, err := clean(p)
 	if err != nil {
 		return nil, err
 	}
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
 	dirPath, base := split(p)
 	dir, err := f.resolve(dirPath)
 	if err != nil {
@@ -326,7 +372,7 @@ func (f *FS) Mkdir(p string, cred Cred, mode FileMode) (*Inode, error) {
 	if dir.typ != TypeDir {
 		return nil, ErrNotDir
 	}
-	if !permOK(dir, cred, AccessWrite) {
+	if !permCheck(dir, cred, AccessWrite) {
 		return nil, ErrPermission
 	}
 	if _, ok := dir.children[base]; ok {
@@ -368,13 +414,13 @@ func (f *FS) MkdirAll(p string, cred Cred, mode FileMode) error {
 
 // Remove unlinks the file at p. Directories must be removed with Rmdir.
 func (f *FS) Remove(p string, cred Cred) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Removes++
+	f.Stats.Removes.Add(1)
 	p, err := clean(p)
 	if err != nil {
 		return err
 	}
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
 	dirPath, base := split(p)
 	dir, err := f.resolve(dirPath)
 	if err != nil {
@@ -387,19 +433,17 @@ func (f *FS) Remove(p string, cred Cred) error {
 	if n.typ == TypeDir {
 		return ErrIsDir
 	}
-	if !permOK(dir, cred, AccessWrite) {
+	if !permCheck(dir, cred, AccessWrite) {
 		return ErrPermission
 	}
 	delete(dir.children, base)
 	n.nlink--
-	dir.mtime = f.clock()
+	f.touch(dir)
 	return nil
 }
 
 // Rmdir removes an empty directory at p.
 func (f *FS) Rmdir(p string, cred Cred) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	p, err := clean(p)
 	if err != nil {
 		return err
@@ -407,6 +451,8 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 	if p == "/" {
 		return ErrInvalid
 	}
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
 	dirPath, base := split(p)
 	dir, err := f.resolve(dirPath)
 	if err != nil {
@@ -422,7 +468,7 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 	if len(n.children) != 0 {
 		return ErrNotEmpty
 	}
-	if !permOK(dir, cred, AccessWrite) {
+	if !permCheck(dir, cred, AccessWrite) {
 		return ErrPermission
 	}
 	delete(dir.children, base)
@@ -431,9 +477,7 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 
 // Rename moves oldp to newp, replacing any existing file at newp.
 func (f *FS) Rename(oldp, newp string, cred Cred) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Renames++
+	f.Stats.Renames.Add(1)
 	oldp, err := clean(oldp)
 	if err != nil {
 		return err
@@ -442,6 +486,8 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 	if err != nil {
 		return err
 	}
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
 	oldDirPath, oldBase := split(oldp)
 	newDirPath, newBase := split(newp)
 	oldDir, err := f.resolve(oldDirPath)
@@ -456,7 +502,7 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 	if !ok {
 		return ErrNotExist
 	}
-	if !permOK(oldDir, cred, AccessWrite) || !permOK(newDir, cred, AccessWrite) {
+	if !permCheck(oldDir, cred, AccessWrite) || !permCheck(newDir, cred, AccessWrite) {
 		return ErrPermission
 	}
 	if existing, ok := newDir.children[newBase]; ok {
@@ -467,24 +513,27 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 	}
 	delete(oldDir.children, oldBase)
 	newDir.children[newBase] = n
-	now := f.clock()
-	oldDir.mtime = now
-	newDir.mtime = now
+	f.touch(oldDir)
+	if newDir != oldDir {
+		f.touch(newDir)
+	}
 	return nil
 }
 
 // ReadAt reads from the file at offset off into p, returning bytes read.
 // Reading at or past EOF returns 0 with no error (callers detect EOF by n=0).
+// Only the inode's read lock is taken: concurrent reads — of the same file
+// or different files — proceed in parallel.
 func (f *FS) ReadAt(n *Inode, off int64, p []byte) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Reads++
+	f.Stats.Reads.Add(1)
 	if n == nil || n.typ != TypeFile {
 		return 0, ErrInvalid
 	}
 	if off < 0 {
 		return 0, ErrInvalid
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if off >= int64(len(n.data)) {
 		return 0, nil
 	}
@@ -494,16 +543,17 @@ func (f *FS) ReadAt(n *Inode, off int64, p []byte) (int, error) {
 
 // WriteAt writes p to the file at offset off, extending it as needed.
 // It updates size and mtime — the metadata DLFM propagates to the database.
+// Only the target inode's write lock is taken.
 func (f *FS) WriteAt(n *Inode, off int64, p []byte) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Writes++
+	f.Stats.Writes.Add(1)
 	if n == nil || n.typ != TypeFile {
 		return 0, ErrInvalid
 	}
 	if off < 0 {
 		return 0, ErrInvalid
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	end := off + int64(len(p))
 	if end > int64(len(n.data)) {
 		grown := make([]byte, end)
@@ -511,20 +561,22 @@ func (f *FS) WriteAt(n *Inode, off int64, p []byte) (int, error) {
 		n.data = grown
 	}
 	copy(n.data[off:], p)
+	// Clock read under the inode lock: concurrent writers must leave data
+	// and mtime consistent (DLFM's modification detection compares mtimes).
 	n.mtime = f.clock()
 	return len(p), nil
 }
 
 // Truncate sets the file length to size.
 func (f *FS) Truncate(n *Inode, size int64) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if n == nil || n.typ != TypeFile {
 		return ErrInvalid
 	}
 	if size < 0 {
 		return ErrInvalid
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	switch {
 	case size <= int64(len(n.data)):
 		n.data = n.data[:size]
@@ -539,11 +591,11 @@ func (f *FS) Truncate(n *Inode, size int64) error {
 
 // Getattr returns the attribute block of an inode.
 func (f *FS) Getattr(n *Inode) (Attr, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if n == nil {
 		return Attr{}, ErrInvalid
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return Attr{
 		Ino:   n.ino,
 		Type:  n.typ,
@@ -557,12 +609,12 @@ func (f *FS) Getattr(n *Inode) (Attr, error) {
 // Chown changes the owner of an inode. Only root (or the DLFM process running
 // as root) may take over ownership — matching the take-over mechanics of §4.
 func (f *FS) Chown(n *Inode, cred Cred, uid UID) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Setattrs++
+	f.Stats.Setattrs.Add(1)
 	if n == nil {
 		return ErrInvalid
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if cred.UID != Root && cred.UID != n.uid {
 		return ErrPermission
 	}
@@ -572,12 +624,12 @@ func (f *FS) Chown(n *Inode, cred Cred, uid UID) error {
 
 // Chmod changes the permission bits of an inode.
 func (f *FS) Chmod(n *Inode, cred Cred, mode FileMode) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.Stats.Setattrs++
+	f.Stats.Setattrs.Add(1)
 	if n == nil {
 		return ErrInvalid
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if cred.UID != Root && cred.UID != n.uid {
 		return ErrPermission
 	}
@@ -587,19 +639,19 @@ func (f *FS) Chmod(n *Inode, cred Cred, mode FileMode) error {
 
 // SetMtime overrides the modification time (used by restore).
 func (f *FS) SetMtime(n *Inode, t time.Time) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if n == nil {
 		return ErrInvalid
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.mtime = t
 	return nil
 }
 
 // ReadDir lists the entries of the directory at p in sorted order.
 func (f *FS) ReadDir(p string) ([]string, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 	dir, err := f.resolve(p)
 	if err != nil {
 		return nil, err
@@ -617,15 +669,17 @@ func (f *FS) ReadDir(p string) ([]string, error) {
 
 // ReadFile returns a copy of the whole file content at p.
 func (f *FS) ReadFile(p string) ([]byte, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
 	n, err := f.resolve(p)
+	f.treeMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	if n.typ != TypeFile {
 		return nil, ErrIsDir
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]byte, len(n.data))
 	copy(out, n.data)
 	return out, nil
@@ -653,16 +707,21 @@ func (f *FS) WriteFile(p string, data []byte) error {
 // point). TryLockctl is the non-blocking variant. The owner string names the
 // lock holder; re-locking by the same owner is idempotent for shared locks.
 func (f *FS) Lockctl(n *Inode, owner string, op LockOp) error {
+	if n == nil {
+		return ErrInvalid
+	}
 	for {
-		err := f.TryLockctl(n, owner, op)
+		n.lkMu.Lock()
+		err := n.tryLockctlLocked(owner, op)
 		if !errors.Is(err, ErrLocked) {
+			n.lkMu.Unlock()
 			return err
 		}
-		// Block until some unlock happens, then retry.
-		f.mu.Lock()
+		// Conflict: register as a waiter on this inode before releasing the
+		// lock mutex, so a concurrent unlock cannot slip through unseen.
 		ch := make(chan struct{})
 		n.lock.waiters = append(n.lock.waiters, ch)
-		f.mu.Unlock()
+		n.lkMu.Unlock()
 		<-ch
 	}
 }
@@ -670,11 +729,16 @@ func (f *FS) Lockctl(n *Inode, owner string, op LockOp) error {
 // TryLockctl attempts the lock operation without blocking, returning
 // ErrLocked on conflict.
 func (f *FS) TryLockctl(n *Inode, owner string, op LockOp) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if n == nil {
 		return ErrInvalid
 	}
+	n.lkMu.Lock()
+	defer n.lkMu.Unlock()
+	return n.tryLockctlLocked(owner, op)
+}
+
+// tryLockctlLocked applies one lock operation. Caller holds n.lkMu.
+func (n *Inode) tryLockctlLocked(owner string, op LockOp) error {
 	lk := &n.lock
 	if lk.readers == nil {
 		lk.readers = make(map[string]int)
@@ -727,16 +791,18 @@ func (f *FS) TryLockctl(n *Inode, owner string, op LockOp) error {
 // Advisory locks are kernel state: a machine crash clears them, so restart
 // recovery calls this to model the reboot.
 func (f *FS) ClearAllLocks() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 	var rec func(n *Inode)
 	rec = func(n *Inode) {
+		n.lkMu.Lock()
 		n.lock.readers = nil
 		n.lock.writer = ""
 		for _, ch := range n.lock.waiters {
 			close(ch)
 		}
 		n.lock.waiters = nil
+		n.lkMu.Unlock()
 		for _, child := range n.children {
 			rec(child)
 		}
@@ -747,8 +813,8 @@ func (f *FS) ClearAllLocks() {
 // LockState reports the current holders of a file's advisory lock; used by
 // tests to assert serialization behaviour.
 func (f *FS) LockState(n *Inode) (writer string, readers []string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	n.lkMu.Lock()
+	defer n.lkMu.Unlock()
 	writer = n.lock.writer
 	for r := range n.lock.readers {
 		readers = append(readers, r)
@@ -759,8 +825,8 @@ func (f *FS) LockState(n *Inode) (writer string, readers []string) {
 
 // Walk calls fn for every file (not directory) under root p, with its path.
 func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 	start, err := f.resolve(p)
 	if err != nil {
 		return err
@@ -769,7 +835,10 @@ func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
 	var rec func(prefix string, n *Inode)
 	rec = func(prefix string, n *Inode) {
 		if n.typ == TypeFile {
-			fn(prefix, Attr{Ino: n.ino, Type: n.typ, UID: n.uid, Mode: n.mode, Size: int64(len(n.data)), Mtime: n.mtime})
+			n.mu.RLock()
+			attr := Attr{Ino: n.ino, Type: n.typ, UID: n.uid, Mode: n.mode, Size: int64(len(n.data)), Mtime: n.mtime}
+			n.mu.RUnlock()
+			fn(prefix, attr)
 			return
 		}
 		names := make([]string, 0, len(n.children))

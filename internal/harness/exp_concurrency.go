@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datalinks/internal/core"
+	"datalinks/internal/fs"
+	"datalinks/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E13",
+		Title: "Concurrency scaling: sessions vs aggregate throughput",
+		Paper: "DataLinks exists so many clients can read and update externally stored files concurrently while the database coordinates them; the stack must not re-serialize traffic that the design leaves independent (per-file opens, token checks, content I/O).",
+		Run:   runE13,
+	})
+}
+
+// The E13 knobs, exported so cmd/dlbench can sweep them from the command
+// line. Session counts are driven against ConcurrencyServers file servers,
+// each session issuing ConcurrencyOps operations (reads with an occasional
+// in-place update) against its own linked file.
+var (
+	ConcurrencySessions = []int{1, 4, 16}
+	ConcurrencyServers  = 2
+	ConcurrencyOps      = 100
+	// ConcurrencyUpcallLatency simulates the DLFS→DLFM IPC hop. Concurrent
+	// sessions should overlap these waits; any layer that re-serializes them
+	// shows up immediately as flat scaling.
+	ConcurrencyUpcallLatency = 200 * time.Microsecond
+)
+
+// runE13 drives N concurrent sessions against M file servers and reports
+// aggregate throughput plus the contention counters of the two hottest
+// locks (the sqlmini lock manager and the physical FS).
+func runE13() ([]*Table, error) {
+	t := &Table{
+		Caption: "E13. Aggregate throughput vs concurrent sessions",
+		Headers: []string{"sessions", "servers", "ops", "wall", "ops/s", "lock waits", "lock wait time", "shard collisions", "fs reads"},
+	}
+	var baseline float64
+	for _, n := range ConcurrencySessions {
+		wall, ops, stats, err := concurrencyRound(n)
+		if err != nil {
+			return nil, err
+		}
+		opsPerSec := float64(ops) / wall.Seconds()
+		if baseline == 0 {
+			baseline = opsPerSec
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", ConcurrencyServers),
+			fmt.Sprintf("%d", ops),
+			Dur(wall),
+			fmt.Sprintf("%.0f (%.1fx)", opsPerSec, opsPerSec/baseline),
+			fmt.Sprintf("%d", stats.lockWaits),
+			Dur(stats.lockWaitTime),
+			fmt.Sprintf("%d", stats.shardCollisions),
+			fmt.Sprintf("%d", stats.fsReads),
+		)
+	}
+	t.Note("each session loops open-read-close on its own linked rdd file (every 10th op is an in-place update); upcall IPC latency %v", ConcurrencyUpcallLatency)
+	t.Note("scaling comes from overlapping the per-open upcalls across sessions — a global lock anywhere in fs/lockmgr/dlfm flattens this curve")
+	return []*Table{t}, nil
+}
+
+// concurrencyStats aggregates the contention counters of one round.
+type concurrencyStats struct {
+	lockWaits       int64
+	lockWaitTime    time.Duration
+	shardCollisions int64
+	fsReads         int64
+}
+
+// concurrencyRound runs one session-count configuration to completion.
+func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, error) {
+	serverNames := make([]core.ServerConfig, ConcurrencyServers)
+	for i := range serverNames {
+		serverNames[i] = core.ServerConfig{
+			Name:          fmt.Sprintf("fs%d", i+1),
+			UpcallLatency: ConcurrencyUpcallLatency,
+			OpenWait:      10 * time.Second,
+		}
+	}
+	sys, err := core.NewSystem(core.Config{Servers: serverNames, LockTimeout: 10 * time.Second})
+	if err != nil {
+		return 0, 0, concurrencyStats{}, err
+	}
+	defer sys.Close()
+	sys.DB.MustExec(`CREATE TABLE conc (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY NO, doc_size INT)`)
+
+	type sessionWork struct {
+		readURL string
+		id      int
+	}
+	work := make([]sessionWork, sessions)
+	for i := 0; i < sessions; i++ {
+		server := fmt.Sprintf("fs%d", i%ConcurrencyServers+1)
+		srv, err := sys.Server(server)
+		if err != nil {
+			return 0, 0, concurrencyStats{}, err
+		}
+		path := fmt.Sprintf("/c/f%d.bin", i)
+		if err := srv.Phys.MkdirAll("/c", fs.Cred{UID: fs.Root}, 0o777); err != nil {
+			return 0, 0, concurrencyStats{}, err
+		}
+		if err := seedOwned(srv, path, workload.UniformContent(4096, i), expUID); err != nil {
+			return 0, 0, concurrencyStats{}, err
+		}
+		if _, err := sys.DB.Exec(
+			fmt.Sprintf(`INSERT INTO conc VALUES (%d, DLVALUE('dlfs://%s%s'), NULL)`, i, server, path)); err != nil {
+			return 0, 0, concurrencyStats{}, err
+		}
+		row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETE(doc) FROM conc WHERE id = %d`, i))
+		if err != nil {
+			return 0, 0, concurrencyStats{}, err
+		}
+		work[i] = sessionWork{readURL: row[0].S, id: i}
+	}
+
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(w sessionWork) {
+			defer wg.Done()
+			sess := sys.NewSession(expUID)
+			for k := 0; k < ConcurrencyOps; k++ {
+				if k%10 == 9 {
+					row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM conc WHERE id = %d`, w.id))
+					if err != nil {
+						fail(err)
+						return
+					}
+					f, err := sess.OpenWrite(row[0].S)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if _, err := f.WriteAt(0, []byte{byte(k)}); err != nil {
+						fail(err)
+						return
+					}
+					if err := f.Close(); err != nil {
+						fail(err)
+						return
+					}
+				} else {
+					f, err := sess.OpenRead(w.readURL)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if _, err := f.ReadAll(); err != nil {
+						fail(err)
+						return
+					}
+					if err := f.Close(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				ops.Add(1)
+			}
+		}(work[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
+		return 0, 0, concurrencyStats{}, err
+	}
+
+	var stats concurrencyStats
+	stats.lockWaits, stats.lockWaitTime, stats.shardCollisions = sys.DB.LockManager().ContentionStats()
+	for _, name := range sys.ServerNames() {
+		srv, err := sys.Server(name)
+		if err != nil {
+			continue
+		}
+		stats.fsReads += srv.Phys.Stats.Reads.Load()
+	}
+	return wall, ops.Load(), stats, nil
+}

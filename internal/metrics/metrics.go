@@ -108,65 +108,57 @@ func (h *Histogram) Max() time.Duration {
 
 // Registry is a named collection of counters and histograms. The zero value
 // is not usable; call NewRegistry.
+//
+// Lookups use sync.Map so the steady state — every hot-path counter already
+// created — is a lock-free read. Counter() on an instrumented fast path
+// therefore never serializes concurrent operations against each other.
 type Registry struct {
-	mu     sync.Mutex
-	ctrs   map[string]*Counter
-	hists  map[string]*Histogram
-	frozen bool
+	ctrs  sync.Map // string -> *Counter
+	hists sync.Map // string -> *Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		ctrs:  make(map[string]*Counter),
-		hists: make(map[string]*Histogram),
-	}
+	return &Registry{}
 }
 
 // Counter returns the counter with the given name, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.ctrs[name]
-	if !ok {
-		c = &Counter{}
-		r.ctrs[name] = c
+	if c, ok := r.ctrs.Load(name); ok {
+		return c.(*Counter)
 	}
-	return c
+	c, _ := r.ctrs.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // Histogram returns the histogram with the given name, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = &Histogram{}
-		r.hists[name] = h
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
 	}
-	return h
+	h, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
 }
 
 // ResetAll zeroes every counter and clears every histogram.
 func (r *Registry) ResetAll() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, c := range r.ctrs {
-		c.Reset()
-	}
-	for _, h := range r.hists {
-		h.Reset()
-	}
+	r.ctrs.Range(func(_, v any) bool {
+		v.(*Counter).Reset()
+		return true
+	})
+	r.hists.Range(func(_, v any) bool {
+		v.(*Histogram).Reset()
+		return true
+	})
 }
 
 // Snapshot returns counter values keyed by name, for test assertions.
 func (r *Registry) Snapshot() map[string]int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.ctrs))
-	for name, c := range r.ctrs {
-		out[name] = c.Value()
-	}
+	out := make(map[string]int64)
+	r.ctrs.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Value()
+		return true
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,9 +42,12 @@ func (t LockTarget) String() string {
 // manager's timeout; the engine treats it as a deadlock victim signal.
 var ErrLockTimeout = errors.New("sqlmini: lock wait timeout (possible deadlock)")
 
-// lockState tracks the holders of one lock target.
+// lockState tracks the holders of one lock target plus its wait queue.
+// Waiters are woken per target — a release on one row never disturbs
+// transactions queued on another.
 type lockState struct {
 	holders map[uint64]LockMode // txnID -> strongest mode held
+	waiters []chan struct{}
 }
 
 func (s *lockState) compatible(txn uint64, mode LockMode) bool {
@@ -58,20 +62,56 @@ func (s *lockState) compatible(txn uint64, mode LockMode) bool {
 	return true
 }
 
+// wake releases every waiter queued on this target.
+func (s *lockState) wake() {
+	for _, ch := range s.waiters {
+		close(ch)
+	}
+	s.waiters = nil
+}
+
+// lockShards is the number of stripes the lock table is split into. Targets
+// hash across shards so concurrent transactions touching different rows
+// rarely contend on the same mutex. Power of two for cheap masking.
+const lockShards = 64
+
+// lockShard is one stripe of the lock table.
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[LockTarget]*lockState
+	_     [48]byte // pad the struct to 64 bytes so shards don't share cache lines
+}
+
 // LockManager implements strict two-phase locking with timeout-based
 // deadlock resolution. All locks a transaction holds are released together
 // at commit or abort.
+//
+// The lock table is striped into shards with per-target wait queues: an
+// acquire touches exactly one shard mutex, and a release wakes only the
+// transactions queued on the released targets — there is no global mutex
+// and no global broadcast.
 type LockManager struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	locks   map[LockTarget]*lockState
-	held    map[uint64]map[LockTarget]LockMode
+	shards  [lockShards]lockShard
 	timeout time.Duration
 
-	// WaitTime accumulates total blocked time, for the E6 experiment.
-	waitTime time.Duration
-	waits    int64
+	// held maps txn -> its locks, for strict-2PL release-all. A transaction
+	// is driven by one goroutine at a time (2PL), so entries for one txn are
+	// not themselves contended; the mutex only guards the outer map.
+	heldMu sync.Mutex
+	held   map[uint64]map[LockTarget]LockMode
+
+	// Contention accounting, read by the E6/E13 experiments and exported to
+	// a metrics registry when one is attached.
+	waitTimeNs atomic.Int64 // total blocked time
+	waits      atomic.Int64 // acquires that blocked at least once
+	collisions atomic.Int64 // acquires that found an unrelated target on their shard
+
+	mWaits, mWaitNs, mCollisions metricCounter
 }
+
+// metricCounter decouples the manager from the metrics package: internal/
+// metrics.Counter satisfies it. Nil means "not attached".
+type metricCounter interface{ Add(int64) }
 
 // NewLockManager returns a manager with the given wait timeout.
 func NewLockManager(timeout time.Duration) *LockManager {
@@ -79,127 +119,197 @@ func NewLockManager(timeout time.Duration) *LockManager {
 		timeout = 2 * time.Second
 	}
 	lm := &LockManager{
-		locks:   make(map[LockTarget]*lockState),
-		held:    make(map[uint64]map[LockTarget]LockMode),
 		timeout: timeout,
+		held:    make(map[uint64]map[LockTarget]LockMode),
 	}
-	lm.cond = sync.NewCond(&lm.mu)
+	for i := range lm.shards {
+		lm.shards[i].locks = make(map[LockTarget]*lockState)
+	}
 	return lm
 }
 
-// Acquire blocks until txn holds target in at least mode, or times out.
-// Re-acquiring a held lock (same or weaker mode) is a no-op; S→X upgrade is
-// granted when no other transaction holds the lock.
-func (lm *LockManager) Acquire(txn uint64, target LockTarget, mode LockMode) error {
-	deadline := time.Now().Add(lm.timeout)
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-
-	waited := time.Duration(0)
-	for {
-		st, ok := lm.locks[target]
-		if !ok {
-			st = &lockState{holders: make(map[uint64]LockMode)}
-			lm.locks[target] = st
-		}
-		if held, has := st.holders[txn]; has && (held == LockX || held == mode) {
-			return nil // already strong enough
-		}
-		if st.compatible(txn, mode) {
-			st.holders[txn] = mode
-			byTxn, ok := lm.held[txn]
-			if !ok {
-				byTxn = make(map[LockTarget]LockMode)
-				lm.held[txn] = byTxn
-			}
-			byTxn[target] = mode
-			if waited > 0 {
-				lm.waitTime += waited
-				lm.waits++
-			}
-			return nil
-		}
-		// Incompatible: wait with timeout. A simple timed wait loop over the
-		// shared condition variable keeps the manager small; at benchmark
-		// scale the thundering herd is immaterial.
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return fmt.Errorf("%w: txn %d waiting for %s %s", ErrLockTimeout, txn, mode, target)
-		}
-		start := time.Now()
-		done := make(chan struct{})
-		go func() {
-			select {
-			case <-done:
-			case <-time.After(remaining):
-				lm.cond.Broadcast()
-			}
-		}()
-		lm.cond.Wait()
-		close(done)
-		waited += time.Since(start)
-	}
+// AttachMetrics mirrors the contention counters into a metrics registry
+// under the given counter handles (lock waits, blocked nanoseconds, shard
+// collisions). Call before concurrent use.
+func (lm *LockManager) AttachMetrics(waits, waitNs, collisions metricCounter) {
+	lm.mWaits, lm.mWaitNs, lm.mCollisions = waits, waitNs, collisions
 }
 
-// TryAcquire is the NOWAIT variant: it errors immediately on conflict.
-func (lm *LockManager) TryAcquire(txn uint64, target LockTarget, mode LockMode) error {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	st, ok := lm.locks[target]
-	if !ok {
-		st = &lockState{holders: make(map[uint64]LockMode)}
-		lm.locks[target] = st
+// shardOf hashes a target onto its stripe (FNV-1a).
+func (lm *LockManager) shardOf(target LockTarget) *lockShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(target.Table); i++ {
+		h = (h ^ uint32(target.Table[i])) * prime32
 	}
-	if held, has := st.holders[txn]; has && (held == LockX || held == mode) {
-		return nil
+	h = (h ^ uint32(target.Row)) * prime32
+	h = (h ^ uint32(target.Row>>32)) * prime32
+	if target.Whole {
+		h = (h ^ 0x57) * prime32
 	}
-	if !st.compatible(txn, mode) {
-		return fmt.Errorf("%w: txn %d needs %s %s", ErrLockTimeout, txn, mode, target)
-	}
-	st.holders[txn] = mode
+	return &lm.shards[h&(lockShards-1)]
+}
+
+// recordHeld notes that txn now holds target in mode.
+func (lm *LockManager) recordHeld(txn uint64, target LockTarget, mode LockMode) {
+	lm.heldMu.Lock()
 	byTxn, ok := lm.held[txn]
 	if !ok {
 		byTxn = make(map[LockTarget]LockMode)
 		lm.held[txn] = byTxn
 	}
 	byTxn[target] = mode
+	lm.heldMu.Unlock()
+}
+
+// Acquire blocks until txn holds target in at least mode, or times out.
+// Re-acquiring a held lock (same or weaker mode) is a no-op; S→X upgrade is
+// granted when no other transaction holds the lock.
+func (lm *LockManager) Acquire(txn uint64, target LockTarget, mode LockMode) error {
+	sh := lm.shardOf(target)
+	deadline := time.Now().Add(lm.timeout)
+	waited := time.Duration(0)
+	collided := false
+	for {
+		sh.mu.Lock()
+		st, ok := sh.locks[target]
+		if !ok {
+			st = &lockState{holders: make(map[uint64]LockMode)}
+			sh.locks[target] = st
+		}
+		if !collided && len(sh.locks) > 1 {
+			collided = true
+			lm.noteCollision()
+		}
+		if held, has := st.holders[txn]; has && (held == LockX || held == mode) {
+			sh.mu.Unlock()
+			return nil // already strong enough
+		}
+		if st.compatible(txn, mode) {
+			st.holders[txn] = mode
+			sh.mu.Unlock()
+			lm.recordHeld(txn, target, mode)
+			if waited > 0 {
+				lm.noteWait(waited)
+			}
+			return nil
+		}
+		// Incompatible: queue on this target and wait for a release or the
+		// deadline, whichever comes first.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			sh.mu.Unlock()
+			if waited > 0 {
+				lm.noteWait(waited)
+			}
+			return fmt.Errorf("%w: txn %d waiting for %s %s", ErrLockTimeout, txn, mode, target)
+		}
+		ch := make(chan struct{})
+		st.waiters = append(st.waiters, ch)
+		sh.mu.Unlock()
+
+		start := time.Now()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+		waited += time.Since(start)
+	}
+}
+
+// noteWait records one blocked acquire.
+func (lm *LockManager) noteWait(waited time.Duration) {
+	lm.waitTimeNs.Add(int64(waited))
+	lm.waits.Add(1)
+	if lm.mWaits != nil {
+		lm.mWaits.Add(1)
+	}
+	if lm.mWaitNs != nil {
+		lm.mWaitNs.Add(int64(waited))
+	}
+}
+
+// noteCollision records an acquire that shared its shard with another target.
+func (lm *LockManager) noteCollision() {
+	lm.collisions.Add(1)
+	if lm.mCollisions != nil {
+		lm.mCollisions.Add(1)
+	}
+}
+
+// TryAcquire is the NOWAIT variant: it errors immediately on conflict.
+func (lm *LockManager) TryAcquire(txn uint64, target LockTarget, mode LockMode) error {
+	sh := lm.shardOf(target)
+	sh.mu.Lock()
+	st, ok := sh.locks[target]
+	if !ok {
+		st = &lockState{holders: make(map[uint64]LockMode)}
+		sh.locks[target] = st
+	}
+	if held, has := st.holders[txn]; has && (held == LockX || held == mode) {
+		sh.mu.Unlock()
+		return nil
+	}
+	if !st.compatible(txn, mode) {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: txn %d needs %s %s", ErrLockTimeout, txn, mode, target)
+	}
+	st.holders[txn] = mode
+	sh.mu.Unlock()
+	lm.recordHeld(txn, target, mode)
 	return nil
 }
 
-// ReleaseAll drops every lock txn holds (end of strict 2PL).
+// ReleaseAll drops every lock txn holds (end of strict 2PL), waking only the
+// transactions queued on those targets.
 func (lm *LockManager) ReleaseAll(txn uint64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for target := range lm.held[txn] {
-		if st, ok := lm.locks[target]; ok {
+	lm.heldMu.Lock()
+	targets := lm.held[txn]
+	delete(lm.held, txn)
+	lm.heldMu.Unlock()
+	for target := range targets {
+		sh := lm.shardOf(target)
+		sh.mu.Lock()
+		if st, ok := sh.locks[target]; ok {
 			delete(st.holders, txn)
+			st.wake()
 			if len(st.holders) == 0 {
-				delete(lm.locks, target)
+				delete(sh.locks, target)
 			}
 		}
+		sh.mu.Unlock()
 	}
-	delete(lm.held, txn)
-	lm.cond.Broadcast()
 }
 
 // Holding reports the mode txn holds on target (0 when none).
 func (lm *LockManager) Holding(txn uint64, target LockTarget) LockMode {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	lm.heldMu.Lock()
+	defer lm.heldMu.Unlock()
 	return lm.held[txn][target]
 }
 
 // WaitStats reports cumulative blocked time and number of waits.
 func (lm *LockManager) WaitStats() (time.Duration, int64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return lm.waitTime, lm.waits
+	return time.Duration(lm.waitTimeNs.Load()), lm.waits.Load()
 }
+
+// ContentionStats reports waits, cumulative blocked time and shard
+// collisions — the counters the concurrency experiments surface.
+func (lm *LockManager) ContentionStats() (waits int64, waitTime time.Duration, shardCollisions int64) {
+	return lm.waits.Load(), time.Duration(lm.waitTimeNs.Load()), lm.collisions.Load()
+}
+
+// ShardCount reports the stripe count of the lock table.
+func (lm *LockManager) ShardCount() int { return lockShards }
 
 // ResetWaitStats zeroes the wait accounting between experiment runs.
 func (lm *LockManager) ResetWaitStats() {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	lm.waitTime = 0
-	lm.waits = 0
+	lm.waitTimeNs.Store(0)
+	lm.waits.Store(0)
+	lm.collisions.Store(0)
 }

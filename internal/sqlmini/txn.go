@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"datalinks/internal/metrics"
 	"datalinks/internal/wal"
 )
 
@@ -112,6 +113,9 @@ type Options struct {
 	Clock       func() time.Time
 	LockTimeout time.Duration
 	Log         *wal.Log // reuse an existing log (recovery); nil = fresh
+	// Metrics, when set, receives the lock manager's contention counters
+	// (sqlmini.lock.waits / wait_ns / shard_collisions).
+	Metrics *metrics.Registry
 }
 
 // NewDB creates an empty database.
@@ -131,6 +135,13 @@ func NewDB(opts Options) *DB {
 		active:  make(map[uint64]*Txn),
 		outcome: make(map[uint64]bool),
 		fns:     make(map[string]ScalarFn),
+	}
+	if opts.Metrics != nil {
+		db.lm.AttachMetrics(
+			opts.Metrics.Counter("sqlmini.lock.waits"),
+			opts.Metrics.Counter("sqlmini.lock.wait_ns"),
+			opts.Metrics.Counter("sqlmini.lock.shard_collisions"),
+		)
 	}
 	registerBuiltins(db)
 	return db
