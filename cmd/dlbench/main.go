@@ -13,9 +13,17 @@
 // counters vs concurrent sessions) is configurable:
 //
 //	dlbench -exp E13 -sessions 1,8,32 -servers 4 -ops 200 -upcall-latency 500us
+//
+// The E14 large-file update experiment (bytes archived vs bytes written) is
+// configurable, and -json emits machine-readable result tables (the CI perf
+// snapshot artifact):
+//
+//	dlbench -exp E14 -filesize 64 -edits 16 -editsize 64
+//	dlbench -exp E14 -json > BENCH_E14.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +38,15 @@ func main() {
 		exp      = flag.String("exp", "", "run a single experiment by id (e.g. T1, E6)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		jsonOut  = flag.Bool("json", false, "render results as JSON (perf snapshots)")
 		sessions = flag.String("sessions", "", "E13: comma-separated concurrent session counts (e.g. 1,4,16)")
 		servers  = flag.Int("servers", 0, "E13: number of file servers")
 		ops      = flag.Int("ops", 0, "E13: operations per session")
 		upcallMs = flag.Duration("upcall-latency", -1, "E13: simulated DLFS→DLFM IPC latency (e.g. 200us)")
+		filesize = flag.Int("filesize", 0, "E14: linked file size in MiB")
+		edits    = flag.Int("edits", 0, "E14: edits committed per session")
+		editsize = flag.Int("editsize", 0, "E14: edit size in KiB")
+		e14sess  = flag.Int("e14-sessions", 0, "E14: concurrent sessions")
 	)
 	flag.Parse()
 
@@ -58,6 +71,18 @@ func main() {
 	if *upcallMs >= 0 {
 		harness.ConcurrencyUpcallLatency = *upcallMs
 	}
+	if *filesize > 0 {
+		harness.LargeFileSizeMB = *filesize
+	}
+	if *edits > 0 {
+		harness.LargeFileEdits = *edits
+	}
+	if *editsize > 0 {
+		harness.LargeFileEditKB = *editsize
+	}
+	if *e14sess > 0 {
+		harness.LargeFileSessions = *e14sess
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -66,20 +91,34 @@ func main() {
 		return
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	run := func(e harness.Experiment) error {
-		if !*markdown {
+		switch {
+		case *jsonOut:
+			tables, err := e.Run()
+			if err != nil {
+				return err
+			}
+			return enc.Encode(map[string]any{
+				"experiment": e.ID,
+				"title":      e.Title,
+				"tables":     tables,
+			})
+		case *markdown:
+			fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
+			fmt.Printf("*Paper:* %s\n\n", e.Paper)
+			tables, err := e.Run()
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				t.Markdown(os.Stdout)
+			}
+			return nil
+		default:
 			return harness.RunOne(os.Stdout, e)
 		}
-		fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
-		fmt.Printf("*Paper:* %s\n\n", e.Paper)
-		tables, err := e.Run()
-		if err != nil {
-			return err
-		}
-		for _, t := range tables {
-			t.Markdown(os.Stdout)
-		}
-		return nil
 	}
 
 	if *exp != "" {

@@ -332,6 +332,9 @@ func (f *File) Write(p []byte) (int, error) { return f.inner.Write(p) }
 // WriteAt writes at an absolute offset.
 func (f *File) WriteAt(off int64, p []byte) (int, error) { return f.inner.WriteAt(off, p) }
 
+// ReadAt reads at an absolute offset without moving the file offset.
+func (f *File) ReadAt(off int64, p []byte) (int, error) { return f.inner.ReadAt(off, p) }
+
 // WriteAll replaces the whole file content.
 func (f *File) WriteAll(p []byte) error { return f.inner.WriteAll(p) }
 

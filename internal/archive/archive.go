@@ -4,119 +4,278 @@
 // point-in-time restore (each version carries the host database state
 // identifier that was current when it committed).
 //
+// Versions are stored as extent manifests, not flat byte slices: chunks are
+// interned by content hash, so archiving a new version of a file costs
+// O(changed chunks) in both time and resident storage — mostly-identical
+// versions share almost everything. Restore hands the manifest back for an
+// O(#chunks) swap into the file system.
+//
 // The store is in-memory (the paper used a tertiary archive device); a
-// configurable per-operation latency models the device so the "block new
-// updates until archiving completes" behaviour of the paper is observable.
+// configurable latency models the device. The latency of a Put is charged
+// per NEW chunk transferred — deduplicated chunks never travel to the
+// device — so the "block new updates until archiving completes" behaviour of
+// the paper stays observable while its cost tracks the delta, not the file.
+//
+// Locking is sharded two ways: version lists shard by (server, path) key and
+// the dedup table shards by content hash, so concurrent archivers of
+// different files never contend on a global mutex.
 package archive
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"datalinks/internal/extent"
 )
 
 // Version numbers a file's archived states, starting at 0 for the content
 // at link time.
 type Version int64
 
-// Entry is one archived version of one file.
+// Entry is one archived version of one file. The manifest is owned by the
+// store; callers materialize bytes with Content() or swap the manifest into
+// a file system directly.
 type Entry struct {
-	Server  string
-	Path    string
-	Version Version
-	StateID uint64 // host database state identifier (tail LSN) at commit
-	Size    int64
-	Content []byte
-	Stored  time.Time
+	Server   string
+	Path     string
+	Version  Version
+	StateID  uint64 // host database state identifier (tail LSN) at commit
+	Size     int64
+	Manifest *extent.Snapshot
+	Stored   time.Time
+}
+
+// Content materializes the archived bytes (a fresh copy).
+func (e Entry) Content() []byte {
+	if e.Manifest == nil {
+		return nil
+	}
+	return e.Manifest.Bytes()
 }
 
 // Errors.
 var (
 	ErrNotFound = errors.New("archive: no such version")
+	// ErrStale rejects a Put whose version is not newer than what is already
+	// archived. Recovery treats it as benign: the version already made it to
+	// the device (e.g. an archiver that survived the crash completed it).
+	ErrStale = errors.New("archive: version not newer than archived")
 )
+
+// shardCount must be a power of two.
+const shardCount = 16
+
+// entryShard holds the version lists of a subset of (server, path) keys.
+type entryShard struct {
+	mu      sync.Mutex
+	entries map[string][]Entry
+}
+
+// dedupEntry is one interned chunk: the canonical chunk plus how many
+// manifests reference it.
+type dedupEntry struct {
+	chunk *extent.Chunk
+	refs  int64
+}
+
+// dedupShard holds a subset of the content-hash intern table.
+type dedupShard struct {
+	mu     sync.Mutex
+	chunks map[extent.Hash]*dedupEntry
+}
+
+// PutStats reports what one Put physically did.
+type PutStats struct {
+	NewChunks    int   // chunks that had to be stored
+	SharedChunks int   // chunks deduplicated against resident content
+	NewBytes     int64 // bytes the device received (new chunks + tail)
+	DedupedBytes int64 // bytes NOT transferred thanks to dedup
+}
+
+// DedupStats is the store-wide view of the dedup machinery.
+type DedupStats struct {
+	LogicalBytes  int64 // sum of version sizes as archived
+	NewBytes      int64 // bytes physically stored across all Puts
+	DedupedBytes  int64 // logical bytes that deduplicated away
+	SharedChunks  int64 // chunk references served by dedup
+	ResidentBytes int64 // bytes currently resident (chunks + tails)
+}
 
 // Store is an archive server. Safe for concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string][]Entry // key: server + "\x00" + path, sorted by version
-	latency time.Duration
-	clock   func() time.Time
+	shards [shardCount]entryShard
+	dedup  [shardCount]dedupShard
+	seed   maphash.Seed
+	clock  func() time.Time
+
+	latency atomic.Int64 // nanoseconds per device transfer unit
 
 	// Stats for the experiment harness.
-	puts     int64
-	restores int64
-	bytes    int64
+	puts          atomic.Int64
+	restores      atomic.Int64
+	logicalBytes  atomic.Int64
+	newBytes      atomic.Int64
+	dedupedBytes  atomic.Int64
+	sharedChunks  atomic.Int64
+	residentBytes atomic.Int64
 }
 
-// New returns an empty archive store. latency is applied to every Put and
-// Get, modelling the archive device of the paper; zero means instant.
+// New returns an empty archive store. latency is the simulated device cost
+// per transfer unit (one chunk's worth of new data for Put, one round trip
+// for Get); zero means instant.
 func New(latency time.Duration, clock func() time.Time) *Store {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Store{
-		entries: make(map[string][]Entry),
-		latency: latency,
-		clock:   clock,
+	s := &Store{seed: maphash.MakeSeed(), clock: clock}
+	s.latency.Store(int64(latency))
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string][]Entry)
+		s.dedup[i].chunks = make(map[extent.Hash]*dedupEntry)
 	}
+	return s
 }
 
 func key(server, path string) string { return server + "\x00" + path }
 
+// shardFor picks the entry shard for a key.
+func (s *Store) shardFor(k string) *entryShard {
+	return &s.shards[maphash.String(s.seed, k)&(shardCount-1)]
+}
+
+// dedupFor picks the dedup shard for a content hash.
+func (s *Store) dedupFor(h extent.Hash) *dedupShard {
+	return &s.dedup[h[0]&(shardCount-1)]
+}
+
 // SetLatency adjusts the simulated device latency.
-func (s *Store) SetLatency(d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.latency = d
+func (s *Store) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
+
+// sleep charges the device cost for units transfer units (minimum one round
+// trip per operation).
+func (s *Store) sleep(units int64) {
+	d := time.Duration(s.latency.Load())
+	if d <= 0 {
+		return
+	}
+	if units < 1 {
+		units = 1
+	}
+	time.Sleep(d * time.Duration(units))
 }
 
-func (s *Store) sleep() {
-	s.mu.Lock()
-	d := s.latency
-	s.mu.Unlock()
-	if d > 0 {
-		time.Sleep(d)
+// intern maps a chunk to its canonical resident representative, retaining
+// the canonical chunk for the manifest being built. Returns whether the
+// chunk was new to the store. Resident accounting happens here (and in
+// unintern) so a manifest that is later rejected unwinds symmetrically.
+func (s *Store) intern(c *extent.Chunk) (canonical *extent.Chunk, fresh bool) {
+	h := c.Hash()
+	ds := s.dedupFor(h)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if e, ok := ds.chunks[h]; ok {
+		e.refs++
+		return e.chunk.RetainChunk(), false
 	}
+	ds.chunks[h] = &dedupEntry{chunk: c, refs: 1}
+	s.residentBytes.Add(extent.ChunkSize)
+	return c.RetainChunk(), true
 }
 
-// Put archives a version of a file. Content is copied. Versions must be
-// archived in increasing order per file; re-archiving an existing version is
-// an error (versions are immutable).
-func (s *Store) Put(server, path string, v Version, stateID uint64, content []byte) error {
-	s.sleep()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	k := key(server, path)
-	list := s.entries[k]
-	if n := len(list); n > 0 && list[n-1].Version >= v {
-		return fmt.Errorf("archive: version %d of %s not newer than archived %d", v, path, list[n-1].Version)
+// unintern releases one manifest's reference to every chunk of a manifest.
+func (s *Store) unintern(m *extent.Snapshot) {
+	for _, c := range m.Chunks() {
+		h := c.Hash()
+		ds := s.dedupFor(h)
+		ds.mu.Lock()
+		if e, ok := ds.chunks[h]; ok {
+			e.refs--
+			if e.refs == 0 {
+				delete(ds.chunks, h)
+				s.residentBytes.Add(-extent.ChunkSize)
+			}
+		}
+		ds.mu.Unlock()
 	}
-	cp := make([]byte, len(content))
-	copy(cp, content)
-	s.entries[k] = append(list, Entry{
-		Server:  server,
-		Path:    path,
-		Version: v,
-		StateID: stateID,
-		Size:    int64(len(cp)),
-		Content: cp,
-		Stored:  s.clock(),
+	s.residentBytes.Add(-int64(len(m.Tail())))
+	m.Release()
+}
+
+// PutSnapshot archives a version of a file from an extent manifest. The
+// snapshot is not consumed — the store builds its own interned manifest.
+// Versions must be archived in increasing order per file; re-archiving an
+// existing version returns ErrStale (versions are immutable).
+func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap *extent.Snapshot) (PutStats, error) {
+	var st PutStats
+	manifest := snap.Intern(func(c *extent.Chunk) *extent.Chunk {
+		canonical, fresh := s.intern(c)
+		if fresh {
+			st.NewChunks++
+			st.NewBytes += extent.ChunkSize
+		} else {
+			st.SharedChunks++
+			st.DedupedBytes += extent.ChunkSize
+		}
+		return canonical
 	})
-	s.puts++
-	s.bytes += int64(len(cp))
-	return nil
+	st.NewBytes += int64(len(manifest.Tail()))
+	s.residentBytes.Add(int64(len(manifest.Tail())))
+
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	list := sh.entries[k]
+	if n := len(list); n > 0 && list[n-1].Version >= v {
+		sh.mu.Unlock()
+		s.unintern(manifest)
+		return PutStats{}, fmt.Errorf("%w: version %d of %s (archived %d)", ErrStale, v, path, list[n-1].Version)
+	}
+	size := manifest.Len()
+	sh.entries[k] = append(list, Entry{
+		Server:   server,
+		Path:     path,
+		Version:  v,
+		StateID:  stateID,
+		Size:     size,
+		Manifest: manifest,
+		Stored:   s.clock(),
+	})
+	sh.mu.Unlock()
+
+	s.puts.Add(1)
+	s.logicalBytes.Add(size)
+	s.newBytes.Add(st.NewBytes)
+	s.dedupedBytes.Add(st.DedupedBytes)
+	s.sharedChunks.Add(int64(st.SharedChunks))
+
+	// Device transfer: only new chunks travel.
+	s.sleep(int64(st.NewChunks))
+	return st, nil
+}
+
+// Put archives a version from a flat byte slice (content is copied).
+func (s *Store) Put(server, path string, v Version, stateID uint64, content []byte) error {
+	snap := extent.FromBytes(content)
+	_, err := s.PutSnapshot(server, path, v, stateID, snap)
+	snap.Release()
+	return err
 }
 
 // Get returns a specific archived version.
 func (s *Store) Get(server, path string, v Version) (Entry, error) {
-	s.sleep()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range s.entries[key(server, path)] {
+	s.sleep(1)
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.entries[k] {
 		if e.Version == v {
-			s.restores++
+			s.restores.Add(1)
 			return e, nil
 		}
 	}
@@ -125,27 +284,31 @@ func (s *Store) Get(server, path string, v Version) (Entry, error) {
 
 // Latest returns the newest archived version of a file.
 func (s *Store) Latest(server, path string) (Entry, error) {
-	s.sleep()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.entries[key(server, path)]
+	s.sleep(1)
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.entries[k]
 	if len(list) == 0 {
 		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	s.restores++
+	s.restores.Add(1)
 	return list[len(list)-1], nil
 }
 
 // AsOf returns the newest version whose StateID is <= stateID — the version
 // that was current when the database was at that state (§4.4).
 func (s *Store) AsOf(server, path string, stateID uint64) (Entry, error) {
-	s.sleep()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.entries[key(server, path)]
+	s.sleep(1)
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.entries[k]
 	for i := len(list) - 1; i >= 0; i-- {
 		if list[i].StateID <= stateID {
-			s.restores++
+			s.restores.Add(1)
 			return list[i], nil
 		}
 	}
@@ -155,10 +318,10 @@ func (s *Store) AsOf(server, path string, stateID uint64) (Entry, error) {
 // TruncateAfter discards versions with StateID > stateID (used when the
 // database itself is restored to an earlier point in time).
 func (s *Store) TruncateAfter(server, path string, stateID uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	k := key(server, path)
-	list := s.entries[k]
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	list := sh.entries[k]
 	cut := len(list)
 	for i, e := range list {
 		if e.StateID > stateID {
@@ -166,14 +329,21 @@ func (s *Store) TruncateAfter(server, path string, stateID uint64) {
 			break
 		}
 	}
-	s.entries[k] = list[:cut]
+	dropped := list[cut:]
+	sh.entries[k] = list[:cut]
+	sh.mu.Unlock()
+	for _, e := range dropped {
+		s.unintern(e.Manifest)
+	}
 }
 
 // Versions lists the archived versions of a file in order.
 func (s *Store) Versions(server, path string) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.entries[key(server, path)]
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.entries[k]
 	out := make([]Entry, len(list))
 	copy(out, list)
 	return out
@@ -181,13 +351,16 @@ func (s *Store) Versions(server, path string) []Entry {
 
 // Files lists every archived path for a server, sorted.
 func (s *Store) Files(server string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []string
-	for k := range s.entries {
-		if len(k) > len(server) && k[:len(server)] == server && k[len(server)] == 0 {
-			out = append(out, k[len(server)+1:])
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.entries {
+			if len(k) > len(server) && k[:len(server)] == server && k[len(server)] == 0 {
+				out = append(out, k[len(server)+1:])
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -195,14 +368,31 @@ func (s *Store) Files(server string) []string {
 
 // Drop discards every version of a file (after unlink with no recovery need).
 func (s *Store) Drop(server, path string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.entries, key(server, path))
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	dropped := sh.entries[k]
+	delete(sh.entries, k)
+	sh.mu.Unlock()
+	for _, e := range dropped {
+		s.unintern(e.Manifest)
+	}
 }
 
-// Stats reports operation counts for benchmarks.
+// Stats reports operation counts for benchmarks. bytes is the logical size
+// archived (what the paper's flat copy would have moved); the physically
+// stored delta is in Dedup().
 func (s *Store) Stats() (puts, restores, bytes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.puts, s.restores, s.bytes
+	return s.puts.Load(), s.restores.Load(), s.logicalBytes.Load()
+}
+
+// Dedup reports the chunk-dedup counters.
+func (s *Store) Dedup() DedupStats {
+	return DedupStats{
+		LogicalBytes:  s.logicalBytes.Load(),
+		NewBytes:      s.newBytes.Load(),
+		DedupedBytes:  s.dedupedBytes.Load(),
+		SharedChunks:  s.sharedChunks.Load(),
+		ResidentBytes: s.residentBytes.Load(),
+	}
 }

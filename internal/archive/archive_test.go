@@ -1,10 +1,13 @@
 package archive
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"datalinks/internal/extent"
 )
 
 func TestPutGetLatest(t *testing.T) {
@@ -16,11 +19,11 @@ func TestPutGetLatest(t *testing.T) {
 		t.Fatalf("put v1: %v", err)
 	}
 	e, err := s.Get("fs1", "/a", 0)
-	if err != nil || string(e.Content) != "v0" {
-		t.Fatalf("get v0 = %q, %v", e.Content, err)
+	if err != nil || string(e.Content()) != "v0" {
+		t.Fatalf("get v0 = %q, %v", e.Content(), err)
 	}
 	latest, err := s.Latest("fs1", "/a")
-	if err != nil || latest.Version != 1 || string(latest.Content) != "v1" {
+	if err != nil || latest.Version != 1 || string(latest.Content()) != "v1" {
 		t.Fatalf("latest = %+v, %v", latest, err)
 	}
 }
@@ -42,8 +45,8 @@ func TestContentIsCopied(t *testing.T) {
 	s.Put("fs1", "/a", 0, 1, buf)
 	buf[0] = 'X'
 	e, _ := s.Get("fs1", "/a", 0)
-	if string(e.Content) != "original" {
-		t.Fatalf("stored content aliased caller buffer: %q", e.Content)
+	if string(e.Content()) != "original" {
+		t.Fatalf("stored content aliased caller buffer: %q", e.Content())
 	}
 }
 
@@ -61,8 +64,8 @@ func TestAsOfSelectsByStateID(t *testing.T) {
 	}
 	for _, c := range cases {
 		e, err := s.AsOf("fs1", "/a", c.state)
-		if err != nil || string(e.Content) != c.want {
-			t.Errorf("AsOf(%d) = %q, %v; want %q", c.state, e.Content, err, c.want)
+		if err != nil || string(e.Content()) != c.want {
+			t.Errorf("AsOf(%d) = %q, %v; want %q", c.state, e.Content(), err, c.want)
 		}
 	}
 	if _, err := s.AsOf("fs1", "/a", 5); !errors.Is(err, ErrNotFound) {
@@ -92,8 +95,8 @@ func TestServerNamespaceIsolation(t *testing.T) {
 	s.Put("fs2", "/a", 0, 1, []byte("two"))
 	e1, _ := s.Latest("fs1", "/a")
 	e2, _ := s.Latest("fs2", "/a")
-	if string(e1.Content) != "one" || string(e2.Content) != "two" {
-		t.Fatalf("cross-server contamination: %q, %q", e1.Content, e2.Content)
+	if string(e1.Content()) != "one" || string(e2.Content()) != "two" {
+		t.Fatalf("cross-server contamination: %q, %q", e1.Content(), e2.Content())
 	}
 	files := s.Files("fs1")
 	if len(files) != 1 || files[0] != "/a" {
@@ -132,6 +135,155 @@ func TestStats(t *testing.T) {
 	puts, restores, bytes := s.Stats()
 	if puts != 1 || restores != 1 || bytes != 4 {
 		t.Fatalf("stats = %d, %d, %d", puts, restores, bytes)
+	}
+}
+
+// TestDedupSharesChunks: archiving mostly-identical versions stores only
+// the changed chunks — resident bytes grow by the delta, not the file size.
+func TestDedupSharesChunks(t *testing.T) {
+	s := New(0, nil)
+	const chunks = 16
+	content := make([]byte, chunks*extent.ChunkSize)
+	for i := range content {
+		content[i] = byte(i % 251)
+	}
+	buf := extent.NewBuffer()
+	buf.SetBytes(content)
+
+	snap := buf.Snapshot()
+	st, err := s.PutSnapshot("fs1", "/big", 0, 1, snap)
+	snap.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewChunks != chunks || st.SharedChunks != 0 {
+		t.Fatalf("v0 put: %+v", st)
+	}
+	base := s.Dedup().ResidentBytes
+
+	// Ten one-chunk edits, each archived as a full version.
+	for v := 1; v <= 10; v++ {
+		buf.WriteAt(int64(v%chunks)*extent.ChunkSize+7, []byte{byte(v)})
+		snap := buf.Snapshot()
+		st, err := s.PutSnapshot("fs1", "/big", Version(v), uint64(v+1), snap)
+		snap.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NewChunks != 1 || st.SharedChunks != chunks-1 {
+			t.Fatalf("v%d put: %+v", v, st)
+		}
+	}
+	d := s.Dedup()
+	grown := d.ResidentBytes - base
+	if grown != 10*extent.ChunkSize {
+		t.Fatalf("resident grew %d; want %d (one chunk per version)", grown, 10*extent.ChunkSize)
+	}
+	if d.LogicalBytes != 11*int64(len(content)) {
+		t.Fatalf("logical bytes = %d", d.LogicalBytes)
+	}
+	// Restored content matches the version exactly.
+	e, err := s.Get("fs1", "/big", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), content...)
+	for v := 1; v <= 3; v++ {
+		want[(v%chunks)*extent.ChunkSize+7] = byte(v)
+	}
+	if !bytes.Equal(e.Content(), want) {
+		t.Fatal("restored v3 content mismatch")
+	}
+	// Dropping the file releases every resident chunk.
+	s.Drop("fs1", "/big")
+	if r := s.Dedup().ResidentBytes; r != 0 {
+		t.Fatalf("resident after drop = %d", r)
+	}
+}
+
+// TestStalePutIsTyped: recovery relies on re-archiving an existing version
+// being distinguishable (a crashed archiver may have completed it already).
+func TestStalePutIsTyped(t *testing.T) {
+	s := New(0, nil)
+	s.Put("fs1", "/a", 1, 10, []byte("v1"))
+	if err := s.Put("fs1", "/a", 1, 20, []byte("dup")); !errors.Is(err, ErrStale) {
+		t.Fatalf("dup put error = %v; want ErrStale", err)
+	}
+}
+
+// TestPutLatencyChargedPerNewChunk: a fully deduplicated Put pays one device
+// round trip; a Put with new chunks pays per chunk. The chunk counts are
+// asserted deterministically; the wall-clock checks are lower bounds only
+// (upper bounds flake on loaded runners).
+func TestPutLatencyChargedPerNewChunk(t *testing.T) {
+	s := New(2*time.Millisecond, nil)
+	content := make([]byte, 4*extent.ChunkSize)
+	for i := range content {
+		content[i] = byte(i % 251) // 251 ∤ ChunkSize: every chunk is distinct
+	}
+	snap := extent.FromBytes(content)
+	defer snap.Release()
+	start := time.Now()
+	st, err := s.PutSnapshot("fs1", "/f", 0, 1, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewChunks != 4 || st.SharedChunks != 0 {
+		t.Fatalf("v0 stats = %+v; want 4 new chunks", st)
+	}
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Fatalf("4 new chunks took %v; want >= 8ms (2ms per chunk)", d)
+	}
+	// Identical content again (new version): all chunks dedup, one trip.
+	start = time.Now()
+	st, err = s.PutSnapshot("fs1", "/f", 1, 2, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewChunks != 0 || st.SharedChunks != 4 {
+		t.Fatalf("v1 stats = %+v; want all 4 chunks deduplicated", st)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("deduplicated put took %v; want >= one 2ms round trip", d)
+	}
+}
+
+// TestStalePutLeavesAccountingIntact: a rejected (stale) Put must unwind its
+// interning exactly — resident bytes stay what the accepted versions hold,
+// and handed-out entries keep reading valid content after Drop.
+func TestStalePutLeavesAccountingIntact(t *testing.T) {
+	s := New(0, nil)
+	content := make([]byte, 2*extent.ChunkSize+100)
+	for i := range content {
+		content[i] = byte(i % 251)
+	}
+	if err := s.Put("fs1", "/f", 1, 10, content); err != nil {
+		t.Fatal(err)
+	}
+	resident := s.Dedup().ResidentBytes
+	if resident != 2*extent.ChunkSize+100 {
+		t.Fatalf("resident = %d", resident)
+	}
+	// Stale re-put of v1 with different content: rejected, no accounting drift.
+	other := bytes.Repeat([]byte{9}, len(content))
+	if err := s.Put("fs1", "/f", 1, 20, other); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale put error = %v", err)
+	}
+	if got := s.Dedup().ResidentBytes; got != resident {
+		t.Fatalf("resident after stale put = %d, want %d", got, resident)
+	}
+	// A handed-out entry stays readable even after the store drops the file
+	// (the manifest alias must not be gutted by the store's release).
+	e, err := s.Latest("fs1", "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drop("fs1", "/f")
+	if got := s.Dedup().ResidentBytes; got != 0 {
+		t.Fatalf("resident after drop = %d", got)
+	}
+	if !bytes.Equal(e.Content(), content) {
+		t.Fatal("entry content corrupted by concurrent drop")
 	}
 }
 

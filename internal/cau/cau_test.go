@@ -144,7 +144,7 @@ func TestCheckInArchivesVersions(t *testing.T) {
 	c2.Content = []byte("v2")
 	m.CheckInBlind(c2)
 	vs := m.arch.Versions("fs1", pop.Paths[1])
-	if len(vs) != 2 || !bytes.Equal(vs[1].Content, []byte("v2")) {
+	if len(vs) != 2 || !bytes.Equal(vs[1].Content(), []byte("v2")) {
 		t.Fatalf("versions = %+v", vs)
 	}
 }

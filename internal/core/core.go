@@ -373,6 +373,9 @@ func (f *File) Write(p []byte) (int, error) { return f.srv.LFS.Write(f.fd, p) }
 // WriteAt writes at an absolute offset.
 func (f *File) WriteAt(off int64, p []byte) (int, error) { return f.srv.LFS.WriteAt(f.fd, off, p) }
 
+// ReadAt reads at an absolute offset without moving the file offset.
+func (f *File) ReadAt(off int64, p []byte) (int, error) { return f.srv.LFS.ReadAt(f.fd, off, p) }
+
 // Truncate sets the file length, like ftruncate(2) on the open write
 // descriptor (write permission was established at open).
 func (f *File) Truncate(size int64) error {

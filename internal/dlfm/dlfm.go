@@ -252,6 +252,10 @@ func (s *Server) createRepoTables() error {
 			orig_mode INT NOT NULL,
 			recovery BOOLEAN NOT NULL
 		)`,
+		// Every commit/abort deletes journal rows by host_txn — a non-PK
+		// predicate that would otherwise fall back to a full table scan (and
+		// row-lock every journal row) on each transaction resolution.
+		`CREATE INDEX ON dlfm_txns (host_txn)`,
 	}
 	for _, stmt := range stmts {
 		if _, err := s.repo.Exec(stmt); err != nil {

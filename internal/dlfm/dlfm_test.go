@@ -247,7 +247,7 @@ func TestWriteOpenCloseCommitsVersion(t *testing.T) {
 		t.Fatalf("meta updates = %v", host.metaLog)
 	}
 	vs := srv.cfg.Archive.Versions("fs1", "/d/f.bin")
-	if len(vs) != 2 || string(vs[1].Content) != "v1" {
+	if len(vs) != 2 || string(vs[1].Content()) != "v1" {
 		t.Fatalf("versions = %+v", vs)
 	}
 	attr, _ = phys.Getattr(ino)
@@ -440,7 +440,7 @@ func TestCrashRecoveryPendingArchive(t *testing.T) {
 	// completed by the dying archiver (both races are legal), the outcome
 	// must be: v1 archived, no pending rows left.
 	vs := srv2.cfg.Archive.Versions("fs1", "/d/f.bin")
-	if len(vs) != 2 || string(vs[1].Content) != "v1" {
+	if len(vs) != 2 || string(vs[1].Content()) != "v1" {
 		t.Fatalf("versions after recovery = %+v", vs)
 	}
 	pend, err := srv2.Repo().Table("dlfm_pending_archive")

@@ -108,16 +108,13 @@ func (s *Server) LinkFile(hostTxn uint64, path string, opts datalink.ColumnOptio
 		},
 		onCommit: func() error {
 			// Archive the initial version so an aborted first update can be
-			// rolled back (§4.2) and point-in-time restore has a floor.
+			// rolled back (§4.2) and point-in-time restore has a floor. The
+			// manifest snapshot keeps link cost O(#chunks).
 			if opts.Mode.UpdateManaged() || opts.Recovery {
 				if len(s.cfg.Archive.Versions(s.cfg.Name, path)) > 0 {
 					return nil // already archived (re-link after restore)
 				}
-				content, err := s.cfg.Phys.ReadFile(path)
-				if err != nil {
-					return err
-				}
-				return s.cfg.Archive.Put(s.cfg.Name, path, 0, s.cfg.Host.StateID(), content)
+				return s.archiveCurrent(path, 0, s.cfg.Host.StateID())
 			}
 			return nil
 		},

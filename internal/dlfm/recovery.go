@@ -1,6 +1,7 @@
 package dlfm
 
 import (
+	"errors"
 	"fmt"
 
 	"datalinks/internal/archive"
@@ -190,11 +191,7 @@ func (s *Server) compensateJournal(r journalRow, committed bool, rep *RecoveryRe
 			// Eager FS changes stand. Ensure version 0 is archived.
 			if fi, ok := s.lookupFile(r.path); ok && (fi.mode.UpdateManaged() || fi.recovery) {
 				if len(s.cfg.Archive.Versions(s.cfg.Name, r.path)) == 0 {
-					content, err := s.cfg.Phys.ReadFile(r.path)
-					if err != nil {
-						return err
-					}
-					if err := s.cfg.Archive.Put(s.cfg.Name, r.path, 0, s.cfg.Host.StateID(), content); err != nil {
+					if err := s.archiveCurrent(r.path, 0, s.cfg.Host.StateID()); err != nil {
 						return err
 					}
 					rep.ArchivedVersions = append(rep.ArchivedVersions, r.path)
@@ -265,11 +262,7 @@ func (s *Server) recoverPendingArchives(rep *RecoveryReport) error {
 			}
 		}
 		if !already {
-			content, err := s.cfg.Phys.ReadFile(p.path)
-			if err != nil {
-				return err
-			}
-			if err := s.cfg.Archive.Put(s.cfg.Name, p.path, archive.Version(p.version), uint64(p.stateID), content); err != nil {
+			if err := s.archiveCurrent(p.path, archive.Version(p.version), uint64(p.stateID)); err != nil {
 				return err
 			}
 			rep.ArchivedVersions = append(rep.ArchivedVersions, fmt.Sprintf("%s@v%d", p.path, p.version))
@@ -302,14 +295,27 @@ func (s *Server) recoverPendingArchives(rep *RecoveryReport) error {
 		if s.hasUpdateEntry(fi.path) {
 			continue
 		}
-		content, err := s.cfg.Phys.ReadFile(fi.path)
-		if err != nil {
-			return err
-		}
-		if err := s.cfg.Archive.Put(s.cfg.Name, fi.path, fi.version, s.cfg.Host.StateID(), content); err != nil {
+		if err := s.archiveCurrent(fi.path, fi.version, s.cfg.Host.StateID()); err != nil {
 			return err
 		}
 		rep.ArchivedVersions = append(rep.ArchivedVersions, fmt.Sprintf("%s@v%d", fi.path, fi.version))
+	}
+	return nil
+}
+
+// archiveCurrent archives the file's current content as the given version
+// via a manifest snapshot. A stale-version rejection is benign here: an
+// archiver goroutine that survived the simulated crash may have completed
+// the same version concurrently — the copy is already on the device.
+func (s *Server) archiveCurrent(path string, ver archive.Version, stateID uint64) error {
+	snap, err := s.cfg.Phys.SnapshotFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = s.cfg.Archive.PutSnapshot(s.cfg.Name, path, ver, stateID, snap)
+	snap.Release()
+	if err != nil && !errors.Is(err, archive.ErrStale) {
+		return err
 	}
 	return nil
 }

@@ -262,11 +262,13 @@ func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error 
 }
 
 // startArchive snapshots the file content and archives it in the background.
-// New update opens of the path block until the job finishes (§4.4).
+// New update opens of the path block until the job finishes (§4.4). The
+// snapshot is an O(#chunks) manifest grab, and the archive stores only the
+// chunks this version changed — commit cost is O(delta), not O(file size).
 func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) {
-	content, err := s.cfg.Phys.ReadFile(path)
+	snap, err := s.cfg.Phys.SnapshotFile(path)
 	if err != nil {
-		content = nil
+		snap = nil
 	}
 	s.mu.Lock()
 	s.syncFor(path).archiving = true
@@ -297,10 +299,19 @@ func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) 
 				s.cfg.Metrics.Counter("dlfm.archive.interrupted").Inc()
 			}
 		}()
-		if err := s.cfg.Archive.Put(s.cfg.Name, path, ver, stateID, content); err != nil {
+		if snap == nil {
 			s.cfg.Metrics.Counter("dlfm.archive.errors").Inc()
 			return
 		}
+		st, err := s.cfg.Archive.PutSnapshot(s.cfg.Name, path, ver, stateID, snap)
+		snap.Release()
+		if err != nil {
+			s.cfg.Metrics.Counter("dlfm.archive.errors").Inc()
+			return
+		}
+		s.cfg.Metrics.Counter("dlfm.archive.bytes_new").Add(st.NewBytes)
+		s.cfg.Metrics.Counter("dlfm.archive.bytes_deduped").Add(st.DedupedBytes)
+		s.cfg.Metrics.Counter("dlfm.archive.chunks_shared").Add(int64(st.SharedChunks))
 		_, _ = s.repo.Exec(`DELETE FROM dlfm_pending_archive WHERE path = ?`, sqlmini.Str(path))
 		s.cfg.Metrics.Counter("dlfm.archive.jobs").Inc()
 	}()
@@ -349,20 +360,24 @@ func (s *Server) rollbackUpdate(st *openState) error {
 }
 
 // restoreLastCommitted quarantines the in-flight content of path and
-// restores the newest archived version. Also used by restart recovery.
+// restores the newest archived version. Also used by restart recovery. Both
+// moves are manifest swaps: the quarantine copy shares its chunks with the
+// in-flight file, and the restore shares its chunks with the archive.
 func (s *Server) restoreLastCommitted(path string) error {
 	fi, linked := s.lookupFile(path)
 	if !linked {
 		return fmt.Errorf("dlfm: %s not linked", path)
 	}
 	// Quarantine the in-flight version (§4.2).
-	current, err := s.cfg.Phys.ReadFile(path)
+	current, err := s.cfg.Phys.SnapshotFile(path)
 	if err != nil {
 		return err
 	}
 	qname := s.cfg.Quarantine + "/" + strings.ReplaceAll(strings.TrimPrefix(path, "/"), "/", "_") +
 		fmt.Sprintf(".%d", s.cfg.Clock().UnixNano())
-	if err := s.cfg.Phys.WriteFile(qname, current); err != nil {
+	err = s.cfg.Phys.WriteFileSnapshot(qname, current)
+	current.Release()
+	if err != nil {
 		return err
 	}
 	// Restore the last committed version from the archive.
@@ -370,7 +385,7 @@ func (s *Server) restoreLastCommitted(path string) error {
 	if err != nil {
 		return fmt.Errorf("dlfm: no archived version of %s to restore: %w", path, err)
 	}
-	if err := s.cfg.Phys.WriteFile(path, entry.Content); err != nil {
+	if err := s.cfg.Phys.WriteFileSnapshot(path, entry.Manifest); err != nil {
 		return err
 	}
 	s.clearUpdateEntry(path)
@@ -405,7 +420,7 @@ func (s *Server) RestoreAsOf(stateID uint64) error {
 		if err != nil {
 			return fmt.Errorf("dlfm: restore %s as of %d: %w", t.fi.path, stateID, err)
 		}
-		if err := s.cfg.Phys.WriteFile(t.fi.path, entry.Content); err != nil {
+		if err := s.cfg.Phys.WriteFileSnapshot(t.fi.path, entry.Manifest); err != nil {
 			return err
 		}
 		s.cfg.Archive.TruncateAfter(s.cfg.Name, t.fi.path, stateID)

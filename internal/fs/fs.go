@@ -35,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datalinks/internal/extent"
 )
 
 // UID identifies a user. UID 0 is root and bypasses permission checks.
@@ -127,12 +129,15 @@ type Inode struct {
 	ino uint64   // immutable after creation
 	typ NodeType // immutable after creation
 
-	// mu guards the attribute block and file content.
+	// mu guards the attribute block and file content. Content is an extent
+	// buffer: writes copy-on-write only the 64 KiB chunks they touch, and
+	// snapshots (the archive path) are O(#chunks) reference grabs instead of
+	// whole-file copies.
 	mu    sync.RWMutex
 	uid   UID
 	mode  FileMode
 	mtime time.Time
-	data  []byte
+	data  extent.Buffer
 
 	// Namespace state, guarded by FS.treeMu.
 	children map[string]*Inode // directories only
@@ -438,8 +443,20 @@ func (f *FS) Remove(p string, cred Cred) error {
 	}
 	delete(dir.children, base)
 	n.nlink--
+	if n.nlink == 0 {
+		f.releaseContent(n)
+	}
 	f.touch(dir)
 	return nil
+}
+
+// releaseContent drops the chunk references of a fully unlinked inode. The
+// content stays readable for open handles; extent accounting just stops
+// counting it as live (a later write through a handle re-retains).
+func (f *FS) releaseContent(n *Inode) {
+	n.mu.Lock()
+	n.data.ReleaseRefs()
+	n.mu.Unlock()
 }
 
 // Rmdir removes an empty directory at p.
@@ -510,6 +527,9 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 			return ErrIsDir
 		}
 		existing.nlink--
+		if existing.nlink == 0 {
+			f.releaseContent(existing)
+		}
 	}
 	delete(oldDir.children, oldBase)
 	newDir.children[newBase] = n
@@ -534,11 +554,7 @@ func (f *FS) ReadAt(n *Inode, off int64, p []byte) (int, error) {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if off >= int64(len(n.data)) {
-		return 0, nil
-	}
-	c := copy(p, n.data[off:])
-	return c, nil
+	return n.data.ReadAt(off, p), nil
 }
 
 // WriteAt writes p to the file at offset off, extending it as needed.
@@ -554,13 +570,7 @@ func (f *FS) WriteAt(n *Inode, off int64, p []byte) (int, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	end := off + int64(len(p))
-	if end > int64(len(n.data)) {
-		grown := make([]byte, end)
-		copy(grown, n.data)
-		n.data = grown
-	}
-	copy(n.data[off:], p)
+	n.data.WriteAt(off, p)
 	// Clock read under the inode lock: concurrent writers must leave data
 	// and mtime consistent (DLFM's modification detection compares mtimes).
 	n.mtime = f.clock()
@@ -577,14 +587,7 @@ func (f *FS) Truncate(n *Inode, size int64) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	switch {
-	case size <= int64(len(n.data)):
-		n.data = n.data[:size]
-	default:
-		grown := make([]byte, size)
-		copy(grown, n.data)
-		n.data = grown
-	}
+	n.data.Truncate(size)
 	n.mtime = f.clock()
 	return nil
 }
@@ -601,7 +604,7 @@ func (f *FS) Getattr(n *Inode) (Attr, error) {
 		Type:  n.typ,
 		UID:   n.uid,
 		Mode:  n.mode,
-		Size:  int64(len(n.data)),
+		Size:  n.data.Len(),
 		Mtime: n.mtime,
 	}, nil
 }
@@ -680,9 +683,7 @@ func (f *FS) ReadFile(p string) ([]byte, error) {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	out := make([]byte, len(n.data))
-	copy(out, n.data)
-	return out, nil
+	return n.data.Bytes(), nil
 }
 
 // WriteFile replaces the whole content of the file at p, creating it if
@@ -701,6 +702,63 @@ func (f *FS) WriteFile(p string, data []byte) error {
 	}
 	_, err = f.WriteAt(n, 0, data)
 	return err
+}
+
+// Snapshot captures a file's content as an immutable extent manifest in
+// O(#chunks) — the archive path's replacement for ReadFile. The caller owns
+// the returned snapshot and must Release it (or hand it to an owner that
+// will).
+func (f *FS) Snapshot(n *Inode) (*extent.Snapshot, error) {
+	if n == nil || n.typ != TypeFile {
+		return nil, ErrInvalid
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.data.Snapshot(), nil
+}
+
+// SnapshotFile is Snapshot by path.
+func (f *FS) SnapshotFile(p string) (*extent.Snapshot, error) {
+	f.treeMu.RLock()
+	n, err := f.resolve(p)
+	f.treeMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != TypeFile {
+		return nil, ErrIsDir
+	}
+	return f.Snapshot(n)
+}
+
+// WriteSnapshot replaces a file's content with a manifest swap: the restore
+// path's O(#chunks) replacement for WriteFile. The snapshot itself is not
+// consumed; the file holds its own references.
+func (f *FS) WriteSnapshot(n *Inode, snap *extent.Snapshot) error {
+	if n == nil || n.typ != TypeFile {
+		return ErrInvalid
+	}
+	if snap == nil {
+		return ErrInvalid
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.data.SetSnapshot(snap)
+	n.mtime = f.clock()
+	return nil
+}
+
+// WriteFileSnapshot is WriteSnapshot by path, creating the file if needed
+// (root semantics, like WriteFile).
+func (f *FS) WriteFileSnapshot(p string, snap *extent.Snapshot) error {
+	n, err := f.Lookup(p)
+	if errors.Is(err, ErrNotExist) {
+		n, err = f.Create(p, Cred{UID: Root}, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	return f.WriteSnapshot(n, snap)
 }
 
 // Lockctl implements advisory whole-file locking (the fs_lockctl entry
@@ -836,7 +894,7 @@ func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
 	rec = func(prefix string, n *Inode) {
 		if n.typ == TypeFile {
 			n.mu.RLock()
-			attr := Attr{Ino: n.ino, Type: n.typ, UID: n.uid, Mode: n.mode, Size: int64(len(n.data)), Mtime: n.mtime}
+			attr := Attr{Ino: n.ino, Type: n.typ, UID: n.uid, Mode: n.mode, Size: n.data.Len(), Mtime: n.mtime}
 			n.mu.RUnlock()
 			fn(prefix, attr)
 			return

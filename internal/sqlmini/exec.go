@@ -178,15 +178,7 @@ func (t *Txn) execCreateIndex(s *CreateIndexStmt) error {
 	if err != nil {
 		return err
 	}
-	ci := tbl.ColIndex(s.Column)
-	if ci < 0 {
-		return fmt.Errorf("sqlmini: no column %q in %s", s.Column, s.Table)
-	}
-	if err := t.lockTable(tbl.Name, LockX); err != nil {
-		return err
-	}
-	tbl.AddIndex(ci)
-	return nil
+	return t.createIndex(tbl, s.Column)
 }
 
 // buildRow assembles a full-width row from an INSERT's column list.

@@ -138,6 +138,20 @@ func (db *DB) redoOne(p logPayload) error {
 		return err
 	case opDropTable:
 		return db.cat.drop(p.Table)
+	case opCreateIndex:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		tbl.AddIndex(tbl.ColIndex(p.Col))
+		return nil
+	case opDropIndex:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		tbl.DropIndex(tbl.ColIndex(p.Col))
+		return nil
 	case opInsert:
 		tbl, err := db.cat.get(p.Table)
 		if err != nil {

@@ -168,6 +168,66 @@ func TestRecoveryDDL(t *testing.T) {
 	}
 }
 
+// TestRecoveryRebuildsIndexes: CREATE INDEX is WAL-logged DDL, so a
+// recovered database serves the same predicates index-backed instead of
+// silently degrading to full scans; an index created by a loser transaction
+// is dropped by undo.
+func TestRecoveryRebuildsIndexes(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, cat VARCHAR)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'a')`)
+	mustExec(t, db, `CREATE INDEX ON t (cat)`)
+
+	// A loser transaction creates a second index the crash must roll back.
+	loser := db.Begin()
+	if _, err := loser.Exec(`CREATE INDEX ON t (id)`); err != nil {
+		t.Fatal(err)
+	}
+	db.Log().Flush()
+
+	db2, _ := recoverDB(t, db)
+	tbl, err := db2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex(tbl.ColIndex("cat")) {
+		t.Fatal("committed index lost by recovery")
+	}
+	if tbl.HasIndex(tbl.ColIndex("id")) {
+		t.Fatal("loser transaction's index survived recovery")
+	}
+	if ids, ok := tbl.LookupIndex(tbl.ColIndex("cat"), Str("a")); !ok || len(ids) != 2 {
+		t.Fatalf("recovered index lookup = %v, %v", ids, ok)
+	}
+	rows := mustQuery(t, db2, `SELECT COUNT(*) FROM t WHERE cat = 'a'`)
+	if rows.Data[0][0].I != 2 {
+		t.Fatalf("indexed count after recovery = %d", rows.Data[0][0].I)
+	}
+}
+
+// TestDuplicateCreateIndexAbortKeepsIndex: a duplicate CREATE INDEX is a
+// no-op and must not be logged — otherwise undoing the aborted duplicate
+// would drop the committed index.
+func TestDuplicateCreateIndexAbortKeepsIndex(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, cat VARCHAR)`)
+	mustExec(t, db, `CREATE INDEX ON t (cat)`)
+	txn := db.Begin()
+	if _, err := txn.Exec(`CREATE INDEX ON t (cat)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex(tbl.ColIndex("cat")) {
+		t.Fatal("aborted duplicate CREATE INDEX dropped the committed index")
+	}
+}
+
 func TestRecoveryAfterRecoveryIsStable(t *testing.T) {
 	db := testDB(t)
 	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)

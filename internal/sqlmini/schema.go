@@ -218,6 +218,21 @@ func (t *Table) AddIndex(col int) {
 	t.secondary[col] = idx
 }
 
+// DropIndex discards the secondary index on the column, if any.
+func (t *Table) DropIndex(col int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.secondary, col)
+}
+
+// HasIndex reports whether a secondary index exists on the column (tests).
+func (t *Table) HasIndex(col int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.secondary[col]
+	return ok
+}
+
 // Scan calls fn with every (id, row) pair in ascending id order. The row is
 // a copy; mutations require Update.
 func (t *Table) Scan(fn func(RowID, Row) bool) {

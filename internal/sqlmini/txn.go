@@ -45,6 +45,8 @@ const (
 	opUpdate
 	opCreateTable
 	opDropTable
+	opCreateIndex
+	opDropIndex
 )
 
 // logPayload is the gob-encoded body of RecUpdate/RecCLR records.
@@ -55,6 +57,7 @@ type logPayload struct {
 	Before Row
 	After  Row
 	Cols   []Column // DDL only
+	Col    string   // index DDL only: the indexed column
 }
 
 func encodePayload(p logPayload) []byte {
@@ -375,6 +378,30 @@ func (t *Txn) createTable(name string, cols []Column) error {
 	return nil
 }
 
+// createIndex performs logged DDL: the index is WAL-logged so it is rebuilt
+// by restart recovery — repository hot paths stay index-backed after a
+// crash instead of silently degrading to full scans.
+func (t *Txn) createIndex(tbl *Table, col string) error {
+	if t.state != TxnActive {
+		return errTxnDone
+	}
+	if err := t.lockTable(tbl.Name, LockX); err != nil {
+		return err
+	}
+	ci := tbl.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqlmini: no column %q in %s", col, tbl.Name)
+	}
+	if tbl.HasIndex(ci) {
+		// Duplicate CREATE INDEX is a no-op and must not be logged: undoing
+		// it would drop the committed index.
+		return nil
+	}
+	tbl.AddIndex(ci)
+	t.logChange(logPayload{Op: opCreateIndex, Table: tbl.Name, Col: col})
+	return nil
+}
+
 // dropTable performs logged DDL. The dropped rows are not individually
 // logged; undo of a drop restores schema only (documented limitation, as in
 // many real systems DDL is not fully transactional).
@@ -547,6 +574,20 @@ func (db *DB) undoOne(rec wal.Record, txnID uint64) error {
 			return err
 		}
 		clr = logPayload{Op: opCreateTable, Table: p.Table, Cols: p.Cols}
+	case opCreateIndex:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		tbl.DropIndex(tbl.ColIndex(p.Col))
+		clr = logPayload{Op: opDropIndex, Table: p.Table, Col: p.Col}
+	case opDropIndex:
+		tbl, err := db.cat.get(p.Table)
+		if err != nil {
+			return err
+		}
+		tbl.AddIndex(tbl.ColIndex(p.Col))
+		clr = logPayload{Op: opCreateIndex, Table: p.Table, Col: p.Col}
 	default:
 		return fmt.Errorf("sqlmini: cannot undo op %d", p.Op)
 	}

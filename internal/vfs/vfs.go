@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"datalinks/internal/fs"
 )
@@ -78,18 +79,40 @@ type fileEntry struct {
 	name   string
 }
 
+// fdShardCount must be a power of two.
+const fdShardCount = 16
+
+// fdShard is one stripe of the open-file table.
+type fdShard struct {
+	mu    sync.Mutex
+	table map[FD]*fileEntry
+}
+
 // LFS is the logical file system: the syscall layer applications use.
+//
+// The open-file table is sharded by descriptor so concurrent opens, closes
+// and per-I/O descriptor lookups of unrelated files never serialize on a
+// single table mutex; descriptor numbers come from an atomic counter.
 type LFS struct {
 	fsys FileSystem
 
-	mu    sync.Mutex
-	table map[FD]*fileEntry
-	next  FD
+	next   atomic.Int64
+	shards [fdShardCount]fdShard
 }
 
 // NewLFS mounts a FileSystem and returns the syscall layer over it.
 func NewLFS(fsys FileSystem) *LFS {
-	return &LFS{fsys: fsys, table: make(map[FD]*fileEntry), next: 3}
+	l := &LFS{fsys: fsys}
+	l.next.Store(2) // first allocated descriptor is 3, after stdio
+	for i := range l.shards {
+		l.shards[i].table = make(map[FD]*fileEntry)
+	}
+	return l
+}
+
+// shard returns the stripe owning fd.
+func (l *LFS) shard(fd FD) *fdShard {
+	return &l.shards[uint64(fd)&(fdShardCount-1)]
 }
 
 // Mounted returns the underlying FileSystem (used by admin tooling).
@@ -103,18 +126,18 @@ func (l *LFS) Open(cred fs.Cred, name string, mode fs.AccessMode) (FD, error) {
 		return -1, fmt.Errorf("open %s: %w", name, err)
 	}
 	// The kernel allocates the file structure before calling fs_open (§2.3).
-	l.mu.Lock()
-	fd := l.next
-	l.next++
+	fd := FD(l.next.Add(1))
 	entry := &fileEntry{node: node, cred: cred, mode: mode, name: name}
-	l.table[fd] = entry
-	l.mu.Unlock()
+	sh := l.shard(fd)
+	sh.mu.Lock()
+	sh.table[fd] = entry
+	sh.mu.Unlock()
 
 	of, err := l.fsys.FsOpen(cred, node, mode)
 	if err != nil {
-		l.mu.Lock()
-		delete(l.table, fd)
-		l.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.table, fd)
+		sh.mu.Unlock()
 		return -1, fmt.Errorf("open %s: %w", name, err)
 	}
 	entry.of = of
@@ -131,9 +154,10 @@ func (l *LFS) Create(cred fs.Cred, name string, mode fs.FileMode) (FD, error) {
 
 // lookupFD fetches the open-file entry for fd.
 func (l *LFS) lookupFD(fd FD) (*fileEntry, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e, ok := l.table[fd]
+	sh := l.shard(fd)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.table[fd]
 	if !ok {
 		return nil, ErrBadFD
 	}
@@ -142,12 +166,13 @@ func (l *LFS) lookupFD(fd FD) (*fileEntry, error) {
 
 // Close releases the descriptor and calls fs_close.
 func (l *LFS) Close(fd FD) error {
-	l.mu.Lock()
-	e, ok := l.table[fd]
+	sh := l.shard(fd)
+	sh.mu.Lock()
+	e, ok := sh.table[fd]
 	if ok {
-		delete(l.table, fd)
+		delete(sh.table, fd)
 	}
-	l.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return ErrBadFD
 	}
@@ -264,9 +289,14 @@ func (l *LFS) Readdir(cred fs.Cred, name string) ([]string, error) {
 
 // OpenCount reports how many descriptors are currently open (leak checks).
 func (l *LFS) OpenCount() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.table)
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Passthrough adapts a physical fs.FS directly to the FileSystem interface
