@@ -20,6 +20,12 @@
 //
 //	dlbench -exp E14 -filesize 64 -edits 16 -editsize 64
 //	dlbench -exp E14 -json > BENCH_E14.json
+//
+// The E15 durable tiered-archive experiment (disk spill, bounded resident
+// memory, page-in and GC counters) is configurable:
+//
+//	dlbench -exp E15 -e15-files 3 -e15-filesize 8 -e15-versions 10 -e15-budget 4
+//	dlbench -exp E15 -e15-dir /var/tmp/archive -json > BENCH_E15.json
 package main
 
 import (
@@ -47,6 +53,12 @@ func main() {
 		edits    = flag.Int("edits", 0, "E14: edits committed per session")
 		editsize = flag.Int("editsize", 0, "E14: edit size in KiB")
 		e14sess  = flag.Int("e14-sessions", 0, "E14: concurrent sessions")
+		e15files = flag.Int("e15-files", 0, "E15: linked files")
+		e15size  = flag.Int("e15-filesize", 0, "E15: linked file size in MiB")
+		e15vers  = flag.Int("e15-versions", 0, "E15: versions committed per file")
+		e15edit  = flag.Int("e15-editsize", 0, "E15: edit size in KiB")
+		e15budg  = flag.Int("e15-budget", 0, "E15: archive LRU memory budget in MiB")
+		e15dir   = flag.String("e15-dir", "", "E15: on-disk chunk store directory (default: private temp dir)")
 	)
 	flag.Parse()
 
@@ -82,6 +94,24 @@ func main() {
 	}
 	if *e14sess > 0 {
 		harness.LargeFileSessions = *e14sess
+	}
+	if *e15files > 0 {
+		harness.TieredFiles = *e15files
+	}
+	if *e15size > 0 {
+		harness.TieredFileMB = *e15size
+	}
+	if *e15vers > 0 {
+		harness.TieredVersions = *e15vers
+	}
+	if *e15edit > 0 {
+		harness.TieredEditKB = *e15edit
+	}
+	if *e15budg > 0 {
+		harness.TieredBudgetMB = *e15budg
+	}
+	if *e15dir != "" {
+		harness.TieredDir = *e15dir
 	}
 
 	if *list {

@@ -69,6 +69,20 @@ type ServerConfig struct {
 	// TCPUpcalls runs the DLFS↔DLFM channel over a real TCP loopback
 	// connection, matching the kernel/daemon process split of the paper.
 	TCPUpcalls bool
+	// ArchiveDir enables the durable archive tier: committed versions'
+	// chunks persist to this directory and only a bounded LRU stays in
+	// memory. Empty keeps the archive memory-only.
+	ArchiveDir string
+	// ArchiveMemoryBudget bounds the archive's in-memory hot-chunk cache in
+	// bytes (<= 0: default). Only meaningful with ArchiveDir set.
+	ArchiveMemoryBudget int64
+	// ArchiveGCInterval runs the background sweeper that unlinks
+	// unreferenced on-disk chunks (0: manual GC only).
+	ArchiveGCInterval time.Duration
+	// QuarantineTTL expires quarantined in-flight versions after this age;
+	// QuarantineGCInterval runs the background quarantine sweeper.
+	QuarantineTTL        time.Duration
+	QuarantineGCInterval time.Duration
 }
 
 // Config configures a System.
@@ -94,12 +108,17 @@ func Open(cfg Config) (*System, error) {
 	servers := make([]core.ServerConfig, len(cfg.Servers))
 	for i, s := range cfg.Servers {
 		servers[i] = core.ServerConfig{
-			Name:           s.Name,
-			UpcallLatency:  s.UpcallLatency,
-			ArchiveLatency: s.ArchiveLatency,
-			Strict:         s.Strict,
-			OpenWait:       s.OpenWait,
-			TCPUpcalls:     s.TCPUpcalls,
+			Name:                 s.Name,
+			UpcallLatency:        s.UpcallLatency,
+			ArchiveLatency:       s.ArchiveLatency,
+			Strict:               s.Strict,
+			OpenWait:             s.OpenWait,
+			TCPUpcalls:           s.TCPUpcalls,
+			ArchiveDir:           s.ArchiveDir,
+			ArchiveMemoryBudget:  s.ArchiveMemoryBudget,
+			ArchiveGCInterval:    s.ArchiveGCInterval,
+			QuarantineTTL:        s.QuarantineTTL,
+			QuarantineGCInterval: s.QuarantineGCInterval,
 		}
 	}
 	c, err := core.NewSystem(core.Config{

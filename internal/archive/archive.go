@@ -4,24 +4,38 @@
 // point-in-time restore (each version carries the host database state
 // identifier that was current when it committed).
 //
-// Versions are stored as extent manifests, not flat byte slices: chunks are
-// interned by content hash, so archiving a new version of a file costs
-// O(changed chunks) in both time and resident storage — mostly-identical
-// versions share almost everything. Restore hands the manifest back for an
-// O(#chunks) swap into the file system.
+// Storage is tiered and delta-based:
 //
-// The store is in-memory (the paper used a tertiary archive device); a
-// configurable latency models the device. The latency of a Put is charged
-// per NEW chunk transferred — deduplicated chunks never travel to the
-// device — so the "block new updates until archiving completes" behaviour of
-// the paper stays observable while its cost tracks the delta, not the file.
+//   - Each version's metadata is a delta manifest against its predecessor —
+//     the list of chunk slots whose content hash changed, plus the new tail.
+//     A full manifest (checkpoint) is stored for version 0, whenever the
+//     delta would exceed half the file, and at least every checkpointEvery
+//     versions, so materializing any version walks a bounded chain.
+//     Metadata cost per version is therefore O(changed chunks), not
+//     O(file size / ChunkSize).
+//   - Chunk and tail bytes live in a chunkdisk store: interned by content
+//     hash, written through to disk (when a directory is configured), with a
+//     bounded in-memory LRU of hot blobs. Resident memory is capped by the
+//     LRU budget no matter how many versions accumulate; cold chunks page
+//     back in on Get/Latest/AsOf/restore.
+//   - Dropping versions (TruncateAfter, Drop, unlink) releases references;
+//     blobs that reach zero are freed from memory immediately and their disk
+//     files are unlinked later by GC (a background sweeper or explicit
+//     GCNow).
 //
-// Locking is sharded two ways: version lists shard by (server, path) key and
-// the dedup table shards by content hash, so concurrent archivers of
-// different files never contend on a global mutex.
+// A configurable latency models the paper's tertiary archive device. The
+// latency of a Put is charged per NEW chunk transferred — deduplicated
+// chunks never travel — so the "block new updates until archiving completes"
+// behaviour stays observable while its cost tracks the delta, not the file.
+//
+// Locking is sharded three ways: version lists shard by (server, path) key,
+// the refcount table shards by content hash, and the chunkdisk LRU shards by
+// hash — concurrent archivers of different files never contend on a global
+// mutex. Lock order is always entry shard → dedup shard → chunkdisk shard.
 package archive
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -30,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datalinks/internal/chunkdisk"
 	"datalinks/internal/extent"
 )
 
@@ -37,25 +52,48 @@ import (
 // at link time.
 type Version int64
 
-// Entry is one archived version of one file. The manifest is owned by the
-// store; callers materialize bytes with Content() or swap the manifest into
-// a file system directly.
+// checkpointEvery bounds the delta chain: at least every this many versions
+// a full manifest is stored, so materialization applies at most this many
+// deltas on top of one checkpoint.
+const checkpointEvery = 16
+
+// Entry is one archived version of one file: the metadata plus a handle
+// through which the content can be materialized. Content() and Snapshot()
+// are valid while the version remains archived (they fail after a
+// TruncateAfter/Drop that discards it — the chunks may be gone).
 type Entry struct {
-	Server   string
-	Path     string
-	Version  Version
-	StateID  uint64 // host database state identifier (tail LSN) at commit
-	Size     int64
-	Manifest *extent.Snapshot
-	Stored   time.Time
+	Server  string
+	Path    string
+	Version Version
+	StateID uint64 // host database state identifier (tail LSN) at commit
+	Size    int64
+	Stored  time.Time
+
+	st  *Store
+	key string
+	idx int
+	gen uint64
 }
 
-// Content materializes the archived bytes (a fresh copy).
+// Content materializes the archived bytes (a fresh copy), paging cold chunks
+// in from the disk tier as needed. Returns nil if the version has been
+// discarded since the entry was obtained.
 func (e Entry) Content() []byte {
-	if e.Manifest == nil {
+	snap, err := e.Snapshot()
+	if err != nil {
 		return nil
 	}
-	return e.Manifest.Bytes()
+	defer snap.Release()
+	return snap.Bytes()
+}
+
+// Snapshot materializes the version as an extent manifest for an O(#chunks)
+// restore swap. The caller owns the returned snapshot and must Release it.
+func (e Entry) Snapshot() (*extent.Snapshot, error) {
+	if e.st == nil {
+		return nil, fmt.Errorf("%w: entry not bound to a store", ErrNotFound)
+	}
+	return e.st.materialize(e.key, e.idx, e.gen, e.Version)
 }
 
 // Errors.
@@ -70,30 +108,63 @@ var (
 // shardCount must be a power of two.
 const shardCount = 16
 
-// entryShard holds the version lists of a subset of (server, path) keys.
+// chunkMod is one slot of a delta manifest: chunk idx now has this hash.
+type chunkMod struct {
+	idx  int32
+	hash extent.Hash
+}
+
+// verRec is the stored manifest of one version: either a full hash list
+// (checkpoint) or a delta against the immediately preceding version.
+type verRec struct {
+	isFull  bool          // checkpoint: full holds every chunk hash
+	full    []extent.Hash // checkpoint only (may be empty: tail-only file)
+	mods    []chunkMod    // delta only: changed/new chunk slots
+	nchunks int           // chunk count of this version
+	tail    extent.Hash   // hash of the tail blob (tailLen > 0)
+	tailLen int
+}
+
+// genCounter distinguishes successive histories of the same path (drop +
+// re-link): stale Entry handles from a dropped history never resolve against
+// the new one.
+var genCounter atomic.Uint64
+
+// fileVersions is the per-(server,path) version history.
+type fileVersions struct {
+	entries []Entry
+	recs    []*verRec
+	// last caches the newest version's full hash list so Put diffs against
+	// it without walking the delta chain. O(#chunks of one version) memory
+	// per archived file.
+	last []extent.Hash
+	gen  uint64 // distinguishes re-linked histories of the same path
+}
+
+// entryShard holds the version histories of a subset of (server, path) keys.
 type entryShard struct {
 	mu      sync.Mutex
-	entries map[string][]Entry
+	entries map[string]*fileVersions
 }
 
-// dedupEntry is one interned chunk: the canonical chunk plus how many
-// manifests reference it.
+// dedupEntry is one interned blob: how many version slots reference it.
+// (Byte accounting lives in chunkdisk, which owns the bytes.)
 type dedupEntry struct {
-	chunk *extent.Chunk
-	refs  int64
+	refs int64
 }
 
-// dedupShard holds a subset of the content-hash intern table.
+// dedupShard holds a subset of the content-hash refcount table.
 type dedupShard struct {
-	mu     sync.Mutex
-	chunks map[extent.Hash]*dedupEntry
+	mu    sync.Mutex
+	blobs map[extent.Hash]*dedupEntry
 }
 
 // PutStats reports what one Put physically did.
 type PutStats struct {
 	NewChunks    int   // chunks that had to be stored
-	SharedChunks int   // chunks deduplicated against resident content
-	NewBytes     int64 // bytes the device received (new chunks + tail)
+	SharedChunks int   // chunks deduplicated against stored content
+	DeltaChunks  int   // chunk slots recorded in the delta manifest
+	NewBytes     int64 // bytes the device received (new chunks + new tail)
 	DedupedBytes int64 // bytes NOT transferred thanks to dedup
 }
 
@@ -103,42 +174,108 @@ type DedupStats struct {
 	NewBytes      int64 // bytes physically stored across all Puts
 	DedupedBytes  int64 // logical bytes that deduplicated away
 	SharedChunks  int64 // chunk references served by dedup
-	ResidentBytes int64 // bytes currently resident (chunks + tails)
+	ResidentBytes int64 // bytes currently resident in MEMORY (the LRU tier)
+}
+
+// TierConfig configures the durable tier.
+type TierConfig struct {
+	// Dir is the on-disk chunk store root; "" keeps the store memory-only.
+	Dir string
+	// MemoryBudget bounds the hot-chunk LRU (bytes); <= 0 uses the
+	// chunkdisk default. Ignored when Dir is empty.
+	MemoryBudget int64
+	// GCInterval starts a background sweeper unlinking unreferenced disk
+	// chunks this often; 0 leaves GC to explicit GCNow calls.
+	GCInterval time.Duration
 }
 
 // Store is an archive server. Safe for concurrent use.
 type Store struct {
 	shards [shardCount]entryShard
 	dedup  [shardCount]dedupShard
+	disk   *chunkdisk.Store
 	seed   maphash.Seed
 	clock  func() time.Time
 
 	latency atomic.Int64 // nanoseconds per device transfer unit
 
+	gcStop    chan struct{}
+	gcDone    chan struct{}
+	closeOnce sync.Once
+
 	// Stats for the experiment harness.
-	puts          atomic.Int64
-	restores      atomic.Int64
-	logicalBytes  atomic.Int64
-	newBytes      atomic.Int64
-	dedupedBytes  atomic.Int64
-	sharedChunks  atomic.Int64
-	residentBytes atomic.Int64
+	puts         atomic.Int64
+	restores     atomic.Int64
+	logicalBytes atomic.Int64
+	newBytes     atomic.Int64
+	dedupedBytes atomic.Int64
+	sharedChunks atomic.Int64
 }
 
-// New returns an empty archive store. latency is the simulated device cost
-// per transfer unit (one chunk's worth of new data for Put, one round trip
-// for Get); zero means instant.
+// New returns a memory-only archive store (the disk tier disabled). latency
+// is the simulated device cost per transfer unit (one chunk's worth of new
+// data for Put, one round trip for Get); zero means instant.
 func New(latency time.Duration, clock func() time.Time) *Store {
+	s, err := NewTiered(latency, clock, TierConfig{})
+	if err != nil {
+		// Memory-only construction cannot fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewTiered returns an archive store with the durable tier configured.
+func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (*Store, error) {
 	if clock == nil {
 		clock = time.Now
 	}
-	s := &Store{seed: maphash.MakeSeed(), clock: clock}
+	disk, err := chunkdisk.Open(chunkdisk.Config{Dir: tier.Dir, MemoryBudget: tier.MemoryBudget})
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	s := &Store{seed: maphash.MakeSeed(), clock: clock, disk: disk}
 	s.latency.Store(int64(latency))
 	for i := range s.shards {
-		s.shards[i].entries = make(map[string][]Entry)
-		s.dedup[i].chunks = make(map[extent.Hash]*dedupEntry)
+		s.shards[i].entries = make(map[string]*fileVersions)
+		s.dedup[i].blobs = make(map[extent.Hash]*dedupEntry)
 	}
-	return s
+	if tier.Dir != "" && tier.GCInterval > 0 {
+		s.gcStop = make(chan struct{})
+		s.gcDone = make(chan struct{})
+		go s.gcLoop(tier.GCInterval)
+	}
+	return s, nil
+}
+
+// gcLoop sweeps dead disk chunks until Close.
+func (s *Store) gcLoop(interval time.Duration) {
+	defer close(s.gcDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.disk.Sweep()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// GCNow sweeps dead disk chunks immediately, returning how many files were
+// freed (tests and explicit maintenance).
+func (s *Store) GCNow() int { return s.disk.Sweep() }
+
+// Close stops the background GC (if any), sweeping one final time. The
+// store remains usable — Close only retires the goroutine. Idempotent.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.gcStop != nil {
+			close(s.gcStop)
+			<-s.gcDone
+		}
+		s.disk.Sweep()
+	})
 }
 
 func key(server, path string) string { return server + "\x00" + path }
@@ -169,82 +306,186 @@ func (s *Store) sleep(units int64) {
 	time.Sleep(d * time.Duration(units))
 }
 
-// intern maps a chunk to its canonical resident representative, retaining
-// the canonical chunk for the manifest being built. Returns whether the
-// chunk was new to the store. Resident accounting happens here (and in
-// unintern) so a manifest that is later rejected unwinds symmetrically.
-func (s *Store) intern(c *extent.Chunk) (canonical *extent.Chunk, fresh bool) {
-	h := c.Hash()
+// addRef takes one reference on a blob hash, reporting whether the blob is
+// new to the refcount table.
+func (s *Store) addRef(h extent.Hash) (fresh bool) {
 	ds := s.dedupFor(h)
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	if e, ok := ds.chunks[h]; ok {
+	if e, ok := ds.blobs[h]; ok {
 		e.refs++
-		return e.chunk.RetainChunk(), false
+		return false
 	}
-	ds.chunks[h] = &dedupEntry{chunk: c, refs: 1}
-	s.residentBytes.Add(extent.ChunkSize)
-	return c.RetainChunk(), true
+	ds.blobs[h] = &dedupEntry{refs: 1}
+	return true
 }
 
-// unintern releases one manifest's reference to every chunk of a manifest.
-func (s *Store) unintern(m *extent.Snapshot) {
-	for _, c := range m.Chunks() {
-		h := c.Hash()
-		ds := s.dedupFor(h)
-		ds.mu.Lock()
-		if e, ok := ds.chunks[h]; ok {
-			e.refs--
-			if e.refs == 0 {
-				delete(ds.chunks, h)
-				s.residentBytes.Add(-extent.ChunkSize)
-			}
+// releaseRef drops one reference; at zero the blob leaves the refcount table
+// and its storage is dropped (memory immediately, disk at the next sweep).
+func (s *Store) releaseRef(h extent.Hash) {
+	ds := s.dedupFor(h)
+	ds.mu.Lock()
+	e, ok := ds.blobs[h]
+	if ok {
+		e.refs--
+		if e.refs == 0 {
+			delete(ds.blobs, h)
+		} else {
+			ok = false
 		}
-		ds.mu.Unlock()
 	}
-	s.residentBytes.Add(-int64(len(m.Tail())))
-	m.Release()
+	ds.mu.Unlock()
+	if ok {
+		s.disk.Drop(h)
+	}
+}
+
+// releaseRec releases every blob reference a version's full hash list holds.
+func (s *Store) releaseRec(hashes []extent.Hash, rec *verRec) {
+	for _, h := range hashes {
+		s.releaseRef(h)
+	}
+	if rec.tailLen > 0 {
+		s.releaseRef(rec.tail)
+	}
+}
+
+// hashesAt materializes the full hash list of version index idx by walking
+// back to the nearest checkpoint and applying deltas forward. Caller holds
+// the entry shard lock.
+func hashesAt(fv *fileVersions, idx int) []extent.Hash {
+	base := idx
+	for !fv.recs[base].isFull {
+		base--
+	}
+	hashes := append([]extent.Hash(nil), fv.recs[base].full...)
+	for i := base + 1; i <= idx; i++ {
+		rec := fv.recs[i]
+		if rec.nchunks <= len(hashes) {
+			hashes = hashes[:rec.nchunks]
+		} else {
+			hashes = append(hashes, make([]extent.Hash, rec.nchunks-len(hashes))...)
+		}
+		for _, m := range rec.mods {
+			hashes[m.idx] = m.hash
+		}
+	}
+	return hashes
 }
 
 // PutSnapshot archives a version of a file from an extent manifest. The
-// snapshot is not consumed — the store builds its own interned manifest.
+// snapshot is not consumed — the store interns the content by hash.
 // Versions must be archived in increasing order per file; re-archiving an
 // existing version returns ErrStale (versions are immutable).
 func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap *extent.Snapshot) (PutStats, error) {
 	var st PutStats
-	manifest := snap.Intern(func(c *extent.Chunk) *extent.Chunk {
-		canonical, fresh := s.intern(c)
-		if fresh {
-			st.NewChunks++
-			st.NewBytes += extent.ChunkSize
+	chunks := snap.Chunks()
+	hashes := make([]extent.Hash, len(chunks))
+	// Intern every chunk first: the references pin the blobs, so a stale
+	// rejection can unwind symmetrically and a concurrent drop of an older
+	// version can never free content this version shares.
+	for i, c := range chunks {
+		h := c.Hash()
+		hashes[i] = h
+		if s.addRef(h) {
+			wrote, err := s.disk.Put(h, c)
+			if err != nil {
+				// Undo what we interned so far; the device rejected the blob.
+				for _, uh := range hashes[:i+1] {
+					s.releaseRef(uh)
+				}
+				return PutStats{}, err
+			}
+			if wrote {
+				st.NewChunks++
+				st.NewBytes += extent.ChunkSize
+			} else {
+				// Revived a dead blob: on the device already, no transfer.
+				st.SharedChunks++
+				st.DedupedBytes += extent.ChunkSize
+			}
 		} else {
 			st.SharedChunks++
 			st.DedupedBytes += extent.ChunkSize
 		}
-		return canonical
-	})
-	st.NewBytes += int64(len(manifest.Tail()))
-	s.residentBytes.Add(int64(len(manifest.Tail())))
+	}
+	tail := snap.Tail()
+	var tailHash extent.Hash
+	if len(tail) > 0 {
+		tailHash = sha256.Sum256(tail)
+		if s.addRef(tailHash) {
+			tc := extent.WrapChunk(append([]byte(nil), tail...), tailHash)
+			wrote, err := s.disk.Put(tailHash, tc)
+			tc.ReleaseChunk()
+			if err != nil {
+				for _, uh := range hashes {
+					s.releaseRef(uh)
+				}
+				s.releaseRef(tailHash)
+				return PutStats{}, err
+			}
+			if wrote {
+				st.NewBytes += int64(len(tail))
+			} else {
+				st.DedupedBytes += int64(len(tail))
+			}
+		} else {
+			st.DedupedBytes += int64(len(tail))
+		}
+	}
+	rec := &verRec{nchunks: len(hashes), tail: tailHash, tailLen: len(tail)}
 
 	k := key(server, path)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
-	list := sh.entries[k]
-	if n := len(list); n > 0 && list[n-1].Version >= v {
-		sh.mu.Unlock()
-		s.unintern(manifest)
-		return PutStats{}, fmt.Errorf("%w: version %d of %s (archived %d)", ErrStale, v, path, list[n-1].Version)
+	fv := sh.entries[k]
+	if fv == nil {
+		fv = &fileVersions{gen: genCounter.Add(1)}
+		sh.entries[k] = fv
 	}
-	size := manifest.Len()
-	sh.entries[k] = append(list, Entry{
-		Server:   server,
-		Path:     path,
-		Version:  v,
-		StateID:  stateID,
-		Size:     size,
-		Manifest: manifest,
-		Stored:   s.clock(),
+	if n := len(fv.entries); n > 0 && fv.entries[n-1].Version >= v {
+		last := fv.entries[n-1].Version
+		sh.mu.Unlock()
+		s.releaseRec(hashes, rec)
+		return PutStats{}, fmt.Errorf("%w: version %d of %s (archived %d)", ErrStale, v, path, last)
+	}
+	// Delta against the cached predecessor list; checkpoint when the delta
+	// would not save metadata or the chain is due for one.
+	var mods []chunkMod
+	sinceFull := 0
+	for i := len(fv.recs) - 1; i >= 0 && !fv.recs[i].isFull; i-- {
+		sinceFull++
+	}
+	if len(fv.recs) > 0 {
+		prev := fv.last
+		for i, h := range hashes {
+			if i >= len(prev) || prev[i] != h {
+				mods = append(mods, chunkMod{idx: int32(i), hash: h})
+			}
+		}
+	}
+	if len(fv.recs) == 0 || sinceFull+1 >= checkpointEvery || len(mods)*2 >= len(hashes) {
+		rec.isFull = true
+		rec.full = append([]extent.Hash(nil), hashes...)
+	} else {
+		rec.mods = mods
+	}
+	st.DeltaChunks = len(mods)
+	size := snap.Len()
+	fv.recs = append(fv.recs, rec)
+	fv.entries = append(fv.entries, Entry{
+		Server:  server,
+		Path:    path,
+		Version: v,
+		StateID: stateID,
+		Size:    size,
+		Stored:  s.clock(),
+		st:      s,
+		key:     k,
+		idx:     len(fv.entries),
+		gen:     fv.gen,
 	})
+	fv.last = hashes
 	sh.mu.Unlock()
 
 	s.puts.Add(1)
@@ -266,6 +507,73 @@ func (s *Store) Put(server, path string, v Version, stateID uint64, content []by
 	return err
 }
 
+// materialize rebuilds version idx of key as a caller-owned snapshot. The
+// blob refs are pinned under the shard lock (so a concurrent truncate/drop
+// cannot free them), then the chunks are fetched — possibly paging in from
+// disk — without holding any entry lock. The version check catches a slot
+// that was truncated and re-filled by a newer Put since the handle was
+// obtained: the handle must error, never serve a different version's bytes.
+func (s *Store) materialize(k string, idx int, gen uint64, v Version) (*extent.Snapshot, error) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	fv := sh.entries[k]
+	if fv == nil || fv.gen != gen || idx >= len(fv.recs) || fv.entries[idx].Version != v {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: version discarded", ErrNotFound)
+	}
+	rec := fv.recs[idx]
+	hashes := hashesAt(fv, idx)
+	// Pin every blob with a temporary reference.
+	for _, h := range hashes {
+		s.addRef(h)
+	}
+	if rec.tailLen > 0 {
+		s.addRef(rec.tail)
+	}
+	tailHash, tailLen := rec.tail, rec.tailLen
+	sh.mu.Unlock()
+
+	unpin := func() {
+		for _, h := range hashes {
+			s.releaseRef(h)
+		}
+		if tailLen > 0 {
+			s.releaseRef(tailHash)
+		}
+	}
+
+	chunks := make([]*extent.Chunk, 0, len(hashes))
+	fail := func(err error) (*extent.Snapshot, error) {
+		for _, c := range chunks {
+			c.ReleaseChunk()
+		}
+		unpin()
+		return nil, err
+	}
+	for _, h := range hashes {
+		c, err := s.disk.Get(h)
+		if err != nil {
+			return fail(err)
+		}
+		chunks = append(chunks, c)
+	}
+	var tail []byte
+	if tailLen > 0 {
+		tc, err := s.disk.Get(tailHash)
+		if err != nil {
+			return fail(err)
+		}
+		tail = tc.Data()
+		snap := extent.BuildSnapshot(chunks, tail)
+		tc.ReleaseChunk()
+		unpin()
+		return snap, nil
+	}
+	snap := extent.BuildSnapshot(chunks, nil)
+	unpin()
+	return snap, nil
+}
+
 // Get returns a specific archived version.
 func (s *Store) Get(server, path string, v Version) (Entry, error) {
 	s.sleep(1)
@@ -273,10 +581,12 @@ func (s *Store) Get(server, path string, v Version) (Entry, error) {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, e := range sh.entries[k] {
-		if e.Version == v {
-			s.restores.Add(1)
-			return e, nil
+	if fv := sh.entries[k]; fv != nil {
+		for _, e := range fv.entries {
+			if e.Version == v {
+				s.restores.Add(1)
+				return e, nil
+			}
 		}
 	}
 	return Entry{}, fmt.Errorf("%w: %s v%d", ErrNotFound, path, v)
@@ -289,12 +599,12 @@ func (s *Store) Latest(server, path string) (Entry, error) {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	list := sh.entries[k]
-	if len(list) == 0 {
+	fv := sh.entries[k]
+	if fv == nil || len(fv.entries) == 0 {
 		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
 	s.restores.Add(1)
-	return list[len(list)-1], nil
+	return fv.entries[len(fv.entries)-1], nil
 }
 
 // AsOf returns the newest version whose StateID is <= stateID — the version
@@ -305,11 +615,12 @@ func (s *Store) AsOf(server, path string, stateID uint64) (Entry, error) {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	list := sh.entries[k]
-	for i := len(list) - 1; i >= 0; i-- {
-		if list[i].StateID <= stateID {
-			s.restores.Add(1)
-			return list[i], nil
+	if fv := sh.entries[k]; fv != nil {
+		for i := len(fv.entries) - 1; i >= 0; i-- {
+			if fv.entries[i].StateID <= stateID {
+				s.restores.Add(1)
+				return fv.entries[i], nil
+			}
 		}
 	}
 	return Entry{}, fmt.Errorf("%w: %s as of state %d", ErrNotFound, path, stateID)
@@ -321,19 +632,42 @@ func (s *Store) TruncateAfter(server, path string, stateID uint64) {
 	k := key(server, path)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
-	list := sh.entries[k]
-	cut := len(list)
-	for i, e := range list {
+	fv := sh.entries[k]
+	if fv == nil {
+		sh.mu.Unlock()
+		return
+	}
+	cut := len(fv.entries)
+	for i, e := range fv.entries {
 		if e.StateID > stateID {
 			cut = i
 			break
 		}
 	}
-	dropped := list[cut:]
-	sh.entries[k] = list[:cut]
+	if cut == len(fv.entries) {
+		sh.mu.Unlock()
+		return
+	}
+	// Materialize the dropped versions' hash lists before mutating the
+	// chain (their checkpoints may themselves be dropped).
+	type dropped struct {
+		hashes []extent.Hash
+		rec    *verRec
+	}
+	drops := make([]dropped, 0, len(fv.entries)-cut)
+	for i := cut; i < len(fv.entries); i++ {
+		drops = append(drops, dropped{hashes: hashesAt(fv, i), rec: fv.recs[i]})
+	}
+	fv.entries = fv.entries[:cut]
+	fv.recs = fv.recs[:cut]
+	if cut == 0 {
+		delete(sh.entries, k)
+	} else {
+		fv.last = hashesAt(fv, cut-1)
+	}
 	sh.mu.Unlock()
-	for _, e := range dropped {
-		s.unintern(e.Manifest)
+	for _, d := range drops {
+		s.releaseRec(d.hashes, d.rec)
 	}
 }
 
@@ -343,9 +677,12 @@ func (s *Store) Versions(server, path string) []Entry {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	list := sh.entries[k]
-	out := make([]Entry, len(list))
-	copy(out, list)
+	fv := sh.entries[k]
+	if fv == nil {
+		return nil
+	}
+	out := make([]Entry, len(fv.entries))
+	copy(out, fv.entries)
 	return out
 }
 
@@ -371,11 +708,23 @@ func (s *Store) Drop(server, path string) {
 	k := key(server, path)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
-	dropped := sh.entries[k]
+	fv := sh.entries[k]
+	if fv == nil {
+		sh.mu.Unlock()
+		return
+	}
+	type dropped struct {
+		hashes []extent.Hash
+		rec    *verRec
+	}
+	drops := make([]dropped, 0, len(fv.entries))
+	for i := range fv.entries {
+		drops = append(drops, dropped{hashes: hashesAt(fv, i), rec: fv.recs[i]})
+	}
 	delete(sh.entries, k)
 	sh.mu.Unlock()
-	for _, e := range dropped {
-		s.unintern(e.Manifest)
+	for _, d := range drops {
+		s.releaseRec(d.hashes, d.rec)
 	}
 }
 
@@ -386,13 +735,21 @@ func (s *Store) Stats() (puts, restores, bytes int64) {
 	return s.puts.Load(), s.restores.Load(), s.logicalBytes.Load()
 }
 
-// Dedup reports the chunk-dedup counters.
+// Dedup reports the chunk-dedup counters. ResidentBytes is memory-resident
+// bytes only: with the disk tier enabled it is bounded by the LRU budget,
+// while the full deduplicated content lives in Tier().DiskBytes.
 func (s *Store) Dedup() DedupStats {
 	return DedupStats{
 		LogicalBytes:  s.logicalBytes.Load(),
 		NewBytes:      s.newBytes.Load(),
 		DedupedBytes:  s.dedupedBytes.Load(),
 		SharedChunks:  s.sharedChunks.Load(),
-		ResidentBytes: s.residentBytes.Load(),
+		ResidentBytes: s.disk.Stats().ResidentBytes,
 	}
 }
+
+// Tier reports the durable-tier counters (spill, page-in, eviction, GC).
+func (s *Store) Tier() chunkdisk.Stats { return s.disk.Stats() }
+
+// TierDir reports the on-disk store root ("" when memory-only).
+func (s *Store) TierDir() string { return s.disk.Dir() }

@@ -272,9 +272,14 @@ func TestStalePutLeavesAccountingIntact(t *testing.T) {
 	if got := s.Dedup().ResidentBytes; got != resident {
 		t.Fatalf("resident after stale put = %d, want %d", got, resident)
 	}
-	// A handed-out entry stays readable even after the store drops the file
-	// (the manifest alias must not be gutted by the store's release).
+	// A snapshot materialized before the drop stays readable after it (the
+	// retained chunks outlive the store's release); the entry handle itself
+	// reports the version as discarded rather than serving reclaimed bytes.
 	e, err := s.Latest("fs1", "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,8 +287,15 @@ func TestStalePutLeavesAccountingIntact(t *testing.T) {
 	if got := s.Dedup().ResidentBytes; got != 0 {
 		t.Fatalf("resident after drop = %d", got)
 	}
-	if !bytes.Equal(e.Content(), content) {
-		t.Fatal("entry content corrupted by concurrent drop")
+	if !bytes.Equal(snap.Bytes(), content) {
+		t.Fatal("pre-drop snapshot corrupted by drop")
+	}
+	snap.Release()
+	if e.Content() != nil {
+		t.Fatal("entry content served after its version was discarded")
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("Snapshot() of a discarded version must fail")
 	}
 }
 

@@ -1,0 +1,458 @@
+// Package chunkdisk is the durable tier under the archive server: a
+// hash-addressed blob store on a real directory with a bounded in-memory LRU
+// of hot chunks in front of it.
+//
+// The archive's dedup table owns the reference counts; this package owns the
+// bytes. Every blob is written through to disk at Put time (the durability
+// point), and the LRU decides which blobs also stay resident in memory.
+// Get serves residents from memory and pages evicted blobs back in from
+// disk, verifying their content hash on the way (a corrupted or truncated
+// chunk file surfaces as an error, never as silent bad data).
+//
+// Deletion is deferred: when the archive drops the last reference to a hash
+// it calls Drop, which releases the memory copy immediately but only marks
+// the disk file dead. A background sweep (archive GC) unlinks dead files in
+// batches — so TruncateAfter/Drop never pay disk I/O inline, and a hash that
+// is re-archived before the sweep is revived without a device transfer.
+//
+// With Dir == "" the store runs memory-only: no spill, no eviction, and Drop
+// frees immediately — the semantics the archive had before the disk tier.
+//
+// Blobs are usually extent chunks (exactly extent.ChunkSize bytes) but the
+// store is length-agnostic: the archive also stores version tails (the
+// sub-chunk final segment of a file) through the same interface.
+package chunkdisk
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datalinks/internal/extent"
+)
+
+// shardCount must be a power of two. The LRU budget is split evenly across
+// shards, so eviction is approximate-global but never cross-shard locked.
+const shardCount = 16
+
+// DefaultMemoryBudget bounds the resident LRU when the caller does not.
+const DefaultMemoryBudget = 64 << 20
+
+// Config configures a store.
+type Config struct {
+	// Dir is the root of the on-disk store. Empty means memory-only (no
+	// spill, no eviction — the pre-tier archive semantics).
+	Dir string
+	// MemoryBudget is the LRU budget in bytes; <= 0 means
+	// DefaultMemoryBudget. Ignored in memory-only mode (nothing backs an
+	// evicted chunk there).
+	MemoryBudget int64
+}
+
+// Stats is a point-in-time view of the tier counters.
+type Stats struct {
+	Spills        int64 // blobs written to disk
+	PageIns       int64 // blobs read back from disk on Get
+	Evictions     int64 // resident blobs dropped by the LRU
+	GCFreed       int64 // dead disk files unlinked by Sweep
+	ResidentBlobs int64 // blobs currently in the LRU
+	ResidentBytes int64 // bytes currently in the LRU
+	DiskBlobs     int64 // blobs currently on disk (incl. dead, pre-sweep)
+	DiskBytes     int64 // bytes currently on disk
+	DeadBlobs     int64 // disk blobs awaiting sweep
+}
+
+// entry is one resident blob.
+type entry struct {
+	hash  extent.Hash
+	chunk *extent.Chunk // retained while resident
+	size  int64
+	elem  *list.Element
+	// writing pins the entry against eviction until its disk write-through
+	// completes — a reader paging it "back in" before the file exists would
+	// otherwise race the first write.
+	writing bool
+}
+
+// shard is one stripe of the store.
+type shard struct {
+	mu       sync.Mutex
+	resident map[extent.Hash]*entry
+	lru      *list.List // of *entry; front = hottest
+	resBytes int64
+	onDisk   map[extent.Hash]int64    // hash -> blob length
+	dead     map[extent.Hash]struct{} // on disk, unreferenced, awaiting sweep
+	sweeping map[extent.Hash]struct{} // claimed by an in-flight sweep
+}
+
+// Store is a tiered blob store. Safe for concurrent use.
+type Store struct {
+	dir    string // "" = memory-only
+	budget int64  // per shard
+	shards [shardCount]shard
+
+	spills    atomic.Int64
+	pageIns   atomic.Int64
+	evictions atomic.Int64
+	gcFreed   atomic.Int64
+	resBlobs  atomic.Int64
+	resBytes  atomic.Int64
+	diskBlobs atomic.Int64
+	diskBytes atomic.Int64
+	deadBlobs atomic.Int64
+}
+
+// Open returns a store over cfg.Dir, creating the directory if needed. Blob
+// files already present (a previous process's store) are adopted as dead:
+// nothing references them yet, so the first sweep reclaims whatever the new
+// archive does not re-intern first.
+func Open(cfg Config) (*Store, error) {
+	budget := cfg.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultMemoryBudget
+	}
+	s := &Store{dir: cfg.Dir, budget: budget / shardCount}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.resident = make(map[extent.Hash]*entry)
+		sh.lru = list.New()
+		sh.onDisk = make(map[extent.Hash]int64)
+		sh.dead = make(map[extent.Hash]struct{})
+		sh.sweeping = make(map[extent.Hash]struct{})
+	}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunkdisk: %w", err)
+	}
+	if err := s.adoptExisting(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// adoptExisting indexes blob files left by a previous store over the same
+// directory, marking them dead until something re-interns them.
+func (s *Store) adoptExisting() error {
+	subdirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	for _, sub := range subdirs {
+		if !sub.IsDir() {
+			// A crash between CreateTemp and Rename strands a tmp-* file at
+			// the root; nothing will ever reference it, so reclaim it now.
+			if len(sub.Name()) >= 4 && sub.Name()[:4] == "tmp-" {
+				os.Remove(filepath.Join(s.dir, sub.Name()))
+			}
+			continue
+		}
+		if len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			return fmt.Errorf("chunkdisk: %w", err)
+		}
+		for _, fi := range files {
+			raw, err := hex.DecodeString(sub.Name() + fi.Name())
+			if err != nil || len(raw) != len(extent.Hash{}) {
+				continue // not a blob file; leave it alone
+			}
+			info, err := fi.Info()
+			if err != nil {
+				continue
+			}
+			var h extent.Hash
+			copy(h[:], raw)
+			sh := s.shardFor(h)
+			sh.mu.Lock()
+			sh.onDisk[h] = info.Size()
+			sh.dead[h] = struct{}{}
+			sh.mu.Unlock()
+			s.diskBlobs.Add(1)
+			s.diskBytes.Add(info.Size())
+			s.deadBlobs.Add(1)
+		}
+	}
+	return nil
+}
+
+// shardFor picks the shard owning a hash.
+func (s *Store) shardFor(h extent.Hash) *shard {
+	return &s.shards[h[0]&(shardCount-1)]
+}
+
+// path returns the blob file for a hash: dir/ab/cdef… (two-level fan-out).
+func (s *Store) path(h extent.Hash) string {
+	hx := hex.EncodeToString(h[:])
+	return filepath.Join(s.dir, hx[:2], hx[2:])
+}
+
+// Put stores the chunk's bytes under h, which the caller guarantees is the
+// chunk's content hash. It admits the chunk to the resident LRU and, in disk
+// mode, writes the blob through to disk before returning. wrote reports
+// whether a device transfer happened — false when the blob was already on
+// disk (a dead blob revived before its sweep).
+func (s *Store) Put(h extent.Hash, c *extent.Chunk) (wrote bool, err error) {
+	size := int64(len(c.Data()))
+	sh := s.shardFor(h)
+	for {
+		sh.mu.Lock()
+		if _, claimed := sh.sweeping[h]; !claimed {
+			break
+		}
+		// A sweep is unlinking this very file; wait for it to finish so our
+		// fresh write cannot be deleted under us.
+		sh.mu.Unlock()
+		time.Sleep(50 * time.Microsecond)
+	}
+	if e, ok := sh.resident[h]; ok {
+		// Already resident (another Put of the same content raced us). A
+		// resident blob is never in the dead set — Drop evicts as it marks.
+		sh.lru.MoveToFront(e.elem)
+		sh.mu.Unlock()
+		return false, nil
+	}
+	e := &entry{hash: h, chunk: c.RetainChunk(), size: size}
+	e.elem = sh.lru.PushFront(e)
+	sh.resident[h] = e
+	sh.resBytes += size
+	s.resBlobs.Add(1)
+	s.resBytes.Add(size)
+	if s.dir == "" {
+		sh.mu.Unlock()
+		return true, nil
+	}
+	if _, onDisk := sh.onDisk[h]; onDisk {
+		// Revive: the bytes are still on the device; no transfer needed.
+		if _, wasDead := sh.dead[h]; wasDead {
+			delete(sh.dead, h)
+			s.deadBlobs.Add(-1)
+		}
+		s.evictLocked(sh)
+		sh.mu.Unlock()
+		return false, nil
+	}
+	e.writing = true // pin until the file exists
+	sh.mu.Unlock()
+
+	werr := s.writeBlob(h, c.Data())
+
+	sh.mu.Lock()
+	e.writing = false
+	if werr == nil {
+		sh.onDisk[h] = size
+		s.diskBlobs.Add(1)
+		s.diskBytes.Add(size)
+		s.spills.Add(1)
+	} else {
+		// The write-through failed: an unbacked resident blob would read
+		// fine until its eviction, then vanish — evict it now so the failure
+		// stays visible (refcount holders get "not stored", and the
+		// archiver's pending-archive row retries the version in recovery).
+		sh.lru.Remove(e.elem)
+		delete(sh.resident, h)
+		sh.resBytes -= e.size
+		e.chunk.ReleaseChunk()
+		s.resBlobs.Add(-1)
+		s.resBytes.Add(-e.size)
+	}
+	s.evictLocked(sh)
+	sh.mu.Unlock()
+	if werr != nil {
+		return false, werr
+	}
+	return true, nil
+}
+
+// writeBlob persists data atomically (temp file + rename).
+func (s *Store) writeBlob(h extent.Hash, data []byte) error {
+	dst := s.path(h)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("chunkdisk: %w", err)
+	}
+	return nil
+}
+
+// Get returns a retained chunk holding the blob's bytes, paging it in from
+// disk if it was evicted. The caller must release the returned chunk. The
+// caller guarantees the blob is still referenced (the archive pins its
+// refcount across materialization), so the file cannot be swept mid-read.
+func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	if e, ok := sh.resident[h]; ok {
+		sh.lru.MoveToFront(e.elem)
+		c := e.chunk.RetainChunk()
+		sh.mu.Unlock()
+		return c, nil
+	}
+	if s.dir == "" {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("chunkdisk: blob %x not stored", h[:8])
+	}
+	if _, ok := sh.onDisk[h]; !ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("chunkdisk: blob %x not stored", h[:8])
+	}
+	sh.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(h))
+	if err != nil {
+		return nil, fmt.Errorf("chunkdisk: %w", err)
+	}
+	if sum := sha256.Sum256(data); extent.Hash(sum) != h {
+		return nil, fmt.Errorf("chunkdisk: blob %x corrupted on disk", h[:8])
+	}
+	c := extent.WrapChunk(data, h)
+	s.pageIns.Add(1)
+
+	sh.mu.Lock()
+	if e, ok := sh.resident[h]; ok {
+		// A concurrent Get admitted it first; use the resident copy.
+		sh.lru.MoveToFront(e.elem)
+		r := e.chunk.RetainChunk()
+		sh.mu.Unlock()
+		c.ReleaseChunk()
+		return r, nil
+	}
+	e := &entry{hash: h, chunk: c.RetainChunk(), size: int64(len(data))}
+	e.elem = sh.lru.PushFront(e)
+	sh.resident[h] = e
+	sh.resBytes += e.size
+	s.resBlobs.Add(1)
+	s.resBytes.Add(e.size)
+	s.evictLocked(sh)
+	sh.mu.Unlock()
+	return c, nil
+}
+
+// evictLocked drops cold residents until the shard fits its budget. Memory
+// mode never evicts (there is no disk copy to page back from).
+func (s *Store) evictLocked(sh *shard) {
+	if s.dir == "" {
+		return
+	}
+	for sh.resBytes > s.budget {
+		el := sh.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		if e.writing {
+			// The coldest entry is mid-write-through; it cannot be dropped
+			// yet and everything hotter is even less evictable.
+			return
+		}
+		sh.lru.Remove(el)
+		delete(sh.resident, e.hash)
+		sh.resBytes -= e.size
+		e.chunk.ReleaseChunk()
+		s.resBlobs.Add(-1)
+		s.resBytes.Add(-e.size)
+		s.evictions.Add(1)
+	}
+}
+
+// Drop tells the store the last reference to h is gone: the resident copy is
+// released immediately (memory returns to baseline without waiting for GC)
+// and the disk file, if any, is marked dead for the next sweep.
+func (s *Store) Drop(h extent.Hash) {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	if e, ok := sh.resident[h]; ok {
+		sh.lru.Remove(e.elem)
+		delete(sh.resident, h)
+		sh.resBytes -= e.size
+		e.chunk.ReleaseChunk()
+		s.resBlobs.Add(-1)
+		s.resBytes.Add(-e.size)
+	}
+	if _, ok := sh.onDisk[h]; ok {
+		if _, wasDead := sh.dead[h]; !wasDead {
+			sh.dead[h] = struct{}{}
+			s.deadBlobs.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// Sweep unlinks every dead blob file and returns how many it freed — the
+// archive's background GC calls this on a timer.
+func (s *Store) Sweep() int {
+	if s.dir == "" {
+		return 0
+	}
+	freed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		claim := make([]extent.Hash, 0, len(sh.dead))
+		for h := range sh.dead {
+			claim = append(claim, h)
+			sh.sweeping[h] = struct{}{}
+			delete(sh.dead, h)
+			s.deadBlobs.Add(-1)
+		}
+		sh.mu.Unlock()
+		for _, h := range claim {
+			err := os.Remove(s.path(h))
+			sh.mu.Lock()
+			if size, ok := sh.onDisk[h]; ok {
+				delete(sh.onDisk, h)
+				s.diskBlobs.Add(-1)
+				s.diskBytes.Add(-size)
+			}
+			delete(sh.sweeping, h)
+			sh.mu.Unlock()
+			if err == nil || os.IsNotExist(err) {
+				freed++
+				s.gcFreed.Add(1)
+			}
+		}
+	}
+	return freed
+}
+
+// Stats returns the current tier counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Spills:        s.spills.Load(),
+		PageIns:       s.pageIns.Load(),
+		Evictions:     s.evictions.Load(),
+		GCFreed:       s.gcFreed.Load(),
+		ResidentBlobs: s.resBlobs.Load(),
+		ResidentBytes: s.resBytes.Load(),
+		DiskBlobs:     s.diskBlobs.Load(),
+		DiskBytes:     s.diskBytes.Load(),
+		DeadBlobs:     s.deadBlobs.Load(),
+	}
+}
+
+// Dir reports the on-disk root ("" in memory-only mode).
+func (s *Store) Dir() string { return s.dir }

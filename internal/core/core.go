@@ -41,6 +41,21 @@ type ServerConfig struct {
 	// connection (gob-encoded), matching the kernel/daemon process split of
 	// Figure 1, instead of direct in-process calls.
 	TCPUpcalls bool
+	// ArchiveDir enables the durable archive tier: sealed chunks persist to
+	// this real directory (hash-addressed) and only a bounded LRU of hot
+	// chunks stays in memory. Empty keeps the archive memory-only.
+	ArchiveDir string
+	// ArchiveMemoryBudget bounds the archive's hot-chunk LRU in bytes
+	// (<= 0: chunkdisk default). Only meaningful with ArchiveDir set.
+	ArchiveMemoryBudget int64
+	// ArchiveGCInterval runs the archive's background dead-chunk sweeper
+	// this often (0: explicit GCNow only). Only meaningful with ArchiveDir.
+	ArchiveGCInterval time.Duration
+	// QuarantineTTL expires quarantined in-flight versions after this age
+	// (0: keep forever); QuarantineGCInterval runs the background sweeper
+	// (0: explicit SweepQuarantine only).
+	QuarantineTTL        time.Duration
+	QuarantineGCInterval time.Duration
 }
 
 // Config configures a System.
@@ -113,18 +128,28 @@ func NewSystem(cfg Config) (*System, error) {
 // addServer constructs one file server stack and attaches it to the engine.
 func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	phys := fs.NewWithClock(sys.clock)
-	arch := archive.New(sc.ArchiveLatency, sys.clock)
-	srv, err := dlfm.New(dlfm.Config{
-		Name:     sc.Name,
-		Phys:     phys,
-		Archive:  arch,
-		Host:     sys.Engine,
-		TokenKey: sys.key,
-		Clock:    sys.clock,
-		OpenWait: sc.OpenWait,
-		TokenTTL: sys.ttl,
+	arch, err := archive.NewTiered(sc.ArchiveLatency, sys.clock, archive.TierConfig{
+		Dir:          sc.ArchiveDir,
+		MemoryBudget: sc.ArchiveMemoryBudget,
+		GCInterval:   sc.ArchiveGCInterval,
 	})
 	if err != nil {
+		return nil, err
+	}
+	srv, err := dlfm.New(dlfm.Config{
+		Name:          sc.Name,
+		Phys:          phys,
+		Archive:       arch,
+		Host:          sys.Engine,
+		TokenKey:      sys.key,
+		Clock:         sys.clock,
+		OpenWait:      sc.OpenWait,
+		TokenTTL:      sys.ttl,
+		QuarantineTTL: sc.QuarantineTTL,
+		GCInterval:    sc.QuarantineGCInterval,
+	})
+	if err != nil {
+		arch.Close()
 		return nil, err
 	}
 	fsrv := &FileServer{
@@ -141,11 +166,13 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	if sc.TCPUpcalls {
 		tcpServer, addr, err := upcall.Serve(srv, "127.0.0.1:0")
 		if err != nil {
+			arch.Close()
 			return nil, fmt.Errorf("core: upcall server: %w", err)
 		}
 		client, err := upcall.Dial(addr)
 		if err != nil {
 			tcpServer.Close()
+			arch.Close()
 			return nil, fmt.Errorf("core: upcall dial: %w", err)
 		}
 		fsrv.tcpServer = tcpServer
@@ -198,6 +225,7 @@ func (sys *System) Close() {
 	for _, s := range sys.servers {
 		s.DLFM.WaitArchives()
 		s.DLFM.Close()
+		s.Archive.Close()
 		if s.tcpClient != nil {
 			s.tcpClient.Close()
 		}
@@ -227,14 +255,16 @@ func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, err
 		old.tcpServer.Close()
 	}
 	srv, rep, err := dlfm.Recover(dlfm.Config{
-		Name:     name,
-		Phys:     old.Phys, // the disk survives
-		Archive:  old.Archive,
-		Host:     sys.Engine,
-		TokenKey: sys.key,
-		Clock:    sys.clock,
-		OpenWait: old.cfg.OpenWait,
-		TokenTTL: sys.ttl,
+		Name:          name,
+		Phys:          old.Phys, // the disk survives
+		Archive:       old.Archive,
+		Host:          sys.Engine,
+		TokenKey:      sys.key,
+		Clock:         sys.clock,
+		OpenWait:      old.cfg.OpenWait,
+		TokenTTL:      sys.ttl,
+		QuarantineTTL: old.cfg.QuarantineTTL,
+		GCInterval:    old.cfg.QuarantineGCInterval,
 	}, durable)
 	if err != nil {
 		return nil, err

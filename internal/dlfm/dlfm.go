@@ -66,6 +66,15 @@ type Config struct {
 	Clock      func() time.Time
 	UID        fs.UID // DLFM process uid; DefaultUID if zero
 	Quarantine string
+	// QuarantineTTL expires quarantined in-flight versions this long after
+	// they were written (§4.2 moves them aside "for possible manual
+	// recovery"; without expiry they accumulate unbounded). Zero keeps them
+	// forever.
+	QuarantineTTL time.Duration
+	// GCInterval runs the background quarantine sweeper this often when
+	// QuarantineTTL is set; zero leaves expiry to explicit SweepQuarantine
+	// calls.
+	GCInterval time.Duration
 	// OpenWait bounds how long write-open approval waits for conflicting
 	// opens and pending archives before returning CodeBusy.
 	OpenWait time.Duration
@@ -169,6 +178,8 @@ type Server struct {
 	closed      bool
 
 	archJobs atomic.Int64 // archive goroutines in flight
+	qseq     atomic.Uint64
+	gcStop   chan struct{}
 
 	// upcallCtrs caches the per-op dispatch counters (indexed by upcall.Op)
 	// so the upcall hot path skips the registry lookup and name formatting.
@@ -218,6 +229,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := cfg.Phys.MkdirAll(cfg.Quarantine, fs.Cred{UID: fs.Root}, 0o700); err != nil {
 		return nil, fmt.Errorf("dlfm: quarantine dir: %w", err)
+	}
+	s.seedQuarantineSeq()
+	if cfg.QuarantineTTL > 0 && cfg.GCInterval > 0 {
+		s.gcStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.quarantineGCLoop(cfg.GCInterval)
 	}
 	return s, nil
 }
@@ -322,11 +339,16 @@ func (a *Agent) UnlinkFile(hostTxn uint64, path string) error {
 	return a.srv.UnlinkFile(hostTxn, path)
 }
 
-// Close waits for background work (archiver goroutines) to finish.
+// Close waits for background work (archiver goroutines, the quarantine
+// sweeper) to finish.
 func (s *Server) Close() {
 	s.mu.Lock()
+	closed := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	if !closed && s.gcStop != nil {
+		close(s.gcStop)
+	}
 	s.wg.Wait()
 }
 

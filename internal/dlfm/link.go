@@ -240,10 +240,12 @@ func (s *Server) hasUpdateEntry(path string) bool {
 	return ok
 }
 
-// purgeTokens drops all token entries for a path.
+// purgeTokens drops all token entries for a path. The token table is guarded
+// by tokMu (not the open/sync mutex): locking s.mu here raced every
+// validate-token upcall.
 func (s *Server) purgeTokens(path string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tokMu.Lock()
+	defer s.tokMu.Unlock()
 	for k := range s.tokens {
 		if k.path == path {
 			delete(s.tokens, k)

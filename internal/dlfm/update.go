@@ -2,6 +2,7 @@ package dlfm
 
 import (
 	"fmt"
+	"net/url"
 	"strings"
 	"time"
 
@@ -368,24 +369,37 @@ func (s *Server) restoreLastCommitted(path string) error {
 	if !linked {
 		return fmt.Errorf("dlfm: %s not linked", path)
 	}
-	// Quarantine the in-flight version (§4.2).
+	// Quarantine the in-flight version (§4.2). The name embeds the path
+	// percent-escaped — an injective encoding, so /a/b_c and /a_b/c can
+	// never map to the same quarantine file — plus a server-wide monotonic
+	// sequence number, so two rollbacks in the same clock tick (frozen test
+	// clocks, coarse clocks) cannot overwrite each other either. The
+	// timestamp stays in the name for operators; expiry uses file mtime.
 	current, err := s.cfg.Phys.SnapshotFile(path)
 	if err != nil {
 		return err
 	}
-	qname := s.cfg.Quarantine + "/" + strings.ReplaceAll(strings.TrimPrefix(path, "/"), "/", "_") +
-		fmt.Sprintf(".%d", s.cfg.Clock().UnixNano())
+	qname := fmt.Sprintf("%s/%s.%d.%06d", s.cfg.Quarantine,
+		url.PathEscape(strings.TrimPrefix(path, "/")),
+		s.cfg.Clock().UnixNano(), s.qseq.Add(1))
 	err = s.cfg.Phys.WriteFileSnapshot(qname, current)
 	current.Release()
 	if err != nil {
 		return err
 	}
-	// Restore the last committed version from the archive.
+	// Restore the last committed version from the archive (paging its
+	// chunks back in from the disk tier if they were spilled).
 	entry, err := s.cfg.Archive.Latest(s.cfg.Name, path)
 	if err != nil {
 		return fmt.Errorf("dlfm: no archived version of %s to restore: %w", path, err)
 	}
-	if err := s.cfg.Phys.WriteFileSnapshot(path, entry.Manifest); err != nil {
+	snap, err := entry.Snapshot()
+	if err != nil {
+		return fmt.Errorf("dlfm: materialize %s v%d: %w", path, entry.Version, err)
+	}
+	err = s.cfg.Phys.WriteFileSnapshot(path, snap)
+	snap.Release()
+	if err != nil {
 		return err
 	}
 	s.clearUpdateEntry(path)
@@ -420,7 +434,13 @@ func (s *Server) RestoreAsOf(stateID uint64) error {
 		if err != nil {
 			return fmt.Errorf("dlfm: restore %s as of %d: %w", t.fi.path, stateID, err)
 		}
-		if err := s.cfg.Phys.WriteFileSnapshot(t.fi.path, entry.Manifest); err != nil {
+		snap, err := entry.Snapshot()
+		if err != nil {
+			return fmt.Errorf("dlfm: materialize %s v%d: %w", t.fi.path, entry.Version, err)
+		}
+		err = s.cfg.Phys.WriteFileSnapshot(t.fi.path, snap)
+		snap.Release()
+		if err != nil {
 			return err
 		}
 		s.cfg.Archive.TruncateAfter(s.cfg.Name, t.fi.path, stateID)

@@ -354,11 +354,33 @@ func (b *Buffer) reattach() {
 	b.detached = false
 }
 
+// WrapChunk wraps data (owned by the chunk from here on; callers must not
+// modify it) as a sealed chunk whose content hash is already known — the
+// disk tier's page-in path, which verifies the hash against the file before
+// wrapping. Pre-setting the hash marks the chunk hash-pinned, so it can
+// never become eligible for in-place mutation.
+func WrapChunk(data []byte, h Hash) *Chunk {
+	c := newChunk(data)
+	c.hashOnce.Do(func() {
+		c.hashed.Store(true)
+		c.hash = h
+	})
+	return c
+}
+
 // Snapshot is an immutable manifest of content: shared chunks plus a private
 // tail copy. Snapshots are safe for concurrent use.
 type Snapshot struct {
 	chunks []*Chunk
 	tail   []byte
+}
+
+// BuildSnapshot assembles a snapshot from already-retained chunks and a tail
+// (copied). Ownership of the chunk references transfers to the snapshot —
+// the archive's materialization path, which pages chunks in one by one and
+// hands the finished manifest to the restore swap.
+func BuildSnapshot(chunks []*Chunk, tail []byte) *Snapshot {
+	return &Snapshot{chunks: chunks, tail: append([]byte(nil), tail...)}
 }
 
 // FromBytes builds a snapshot owning a chunked copy of p.

@@ -73,9 +73,14 @@ func TestFSArchiveEquivalenceProperty(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if err := f.WriteFileSnapshot(path, e.Manifest); err != nil {
+					snap, err := e.Snapshot()
+					if err != nil {
 						t.Fatal(err)
 					}
+					if err := f.WriteFileSnapshot(path, snap); err != nil {
+						t.Fatal(err)
+					}
+					snap.Release()
 					model = append(model[:0:0], versions[v]...)
 				}
 			default: // write
@@ -151,9 +156,14 @@ func TestChunkRefcountLeak(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := f.WriteSnapshot(n, e.Manifest); err != nil {
+				snap, err := e.Snapshot()
+				if err != nil {
 					t.Fatal(err)
 				}
+				if err := f.WriteSnapshot(n, snap); err != nil {
+					t.Fatal(err)
+				}
+				snap.Release()
 			}
 		}
 	}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"datalinks/internal/core"
+	"datalinks/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E15",
+		Title: "Durable tiered archive: resident memory vs logical bytes, spill/page-in/GC",
+		Paper: "§4.4 archives every committed version and §4.2 quarantines rolled-back content. A RAM-resident archive caps how many users/versions a server can hold; with the disk tier, resident memory is bounded by the LRU budget while versions accumulate on disk, restores page chunks back in, and GC reclaims unreferenced chunks and aged quarantine files.",
+		Run:   runE15,
+	})
+}
+
+// The E15 knobs, exported so cmd/dlbench can sweep them from the command
+// line.
+var (
+	TieredFiles    = 3
+	TieredFileMB   = 8
+	TieredVersions = 10
+	TieredEditKB   = 64
+	TieredBudgetMB = 4
+	TieredDir      = "" // "" = private temp dir, removed afterwards
+)
+
+// runE15 drives the tiered-archive workload: version churn under a bounded
+// LRU, rollback restores that page from disk, quarantine TTL expiry, and a
+// point-in-time restore whose truncated versions are reclaimed by GC.
+func runE15() ([]*Table, error) {
+	fileSize := int64(TieredFileMB) << 20
+	editSize := int64(TieredEditKB) << 10
+	if editSize > fileSize {
+		editSize = fileSize
+	}
+	budget := int64(TieredBudgetMB) << 20
+
+	dir := TieredDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "dlarchive-e15-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	const quarantineTTL = 50 * time.Millisecond
+
+	sys, err := core.NewSystem(core.Config{
+		Servers: []core.ServerConfig{{
+			Name:                "fs1",
+			OpenWait:            30 * time.Second,
+			ArchiveDir:          dir,
+			ArchiveMemoryBudget: budget,
+			QuarantineTTL:       quarantineTTL,
+		}},
+		LockTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	srv, err := sys.Server("fs1")
+	if err != nil {
+		return nil, err
+	}
+	sys.DB.MustExec(`CREATE TABLE tiered (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES)`)
+
+	paths := make([]string, TieredFiles)
+	committed := make([][]byte, TieredFiles)
+	for i := 0; i < TieredFiles; i++ {
+		paths[i] = fmt.Sprintf("/tiered/f%d.bin", i)
+		committed[i] = workload.Content(workload.RNG(int64(i)), int(fileSize))
+		if err := seedOwned(srv, paths[i], committed[i], expUID); err != nil {
+			return nil, err
+		}
+		if _, err := sys.DB.Exec(
+			fmt.Sprintf(`INSERT INTO tiered VALUES (%d, DLVALUE('dlfs://fs1%s'))`, i, paths[i])); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: version churn. Capture a mid-run state id for the later
+	// point-in-time restore.
+	sess := sys.NewSession(expUID)
+	rng := workload.RNG(99)
+	var midStateID uint64
+	start := time.Now()
+	for v := 0; v < TieredVersions; v++ {
+		for i := 0; i < TieredFiles; i++ {
+			row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM tiered WHERE id = %d`, i))
+			if err != nil {
+				return nil, err
+			}
+			f, err := sess.OpenWrite(row[0].S)
+			if err != nil {
+				return nil, err
+			}
+			edit := workload.Content(rng, int(editSize))
+			off := (int64(v*TieredFiles+i) * editSize * 13) % (fileSize - editSize + 1)
+			if _, err := f.WriteAt(off, edit); err != nil {
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			copy(committed[i][off:], edit)
+		}
+		if v == TieredVersions/2 {
+			srv.DLFM.WaitArchives()
+			midStateID = sys.Engine.StateID()
+		}
+	}
+	srv.DLFM.WaitArchives()
+	churnWall := time.Since(start)
+	churn := srv.Archive.Tier()
+	dedup := srv.Archive.Dedup()
+
+	// Phase 2: rollbacks. The in-flight junk is quarantined and the last
+	// committed version restored — paging its evicted chunks back in.
+	for i := 0; i < TieredFiles; i++ {
+		row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM tiered WHERE id = %d`, i))
+		if err != nil {
+			return nil, err
+		}
+		f, err := sess.OpenWrite(row[0].S)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt(0, []byte("in-flight junk that must be quarantined")); err != nil {
+			return nil, err
+		}
+		if err := f.Abort(); err != nil {
+			return nil, err
+		}
+	}
+	restoredOK := 0
+	for i := 0; i < TieredFiles; i++ {
+		got, err := srv.Phys.ReadFile(paths[i])
+		if err != nil {
+			return nil, err
+		}
+		if string(got) == string(committed[i]) {
+			restoredOK++
+		}
+	}
+	afterRestore := srv.Archive.Tier()
+	quarantined := len(srv.DLFM.QuarantinedFiles())
+
+	// Phase 3: quarantine TTL expiry.
+	time.Sleep(2 * quarantineTTL)
+	expired := srv.DLFM.SweepQuarantine()
+
+	// Phase 4: point-in-time restore to the mid-run state; the truncated
+	// versions' chunks become unreferenced and GC reclaims their files.
+	diskBefore := srv.Archive.Tier().DiskBlobs
+	if err := srv.DLFM.RestoreAsOf(midStateID); err != nil {
+		return nil, err
+	}
+	gcFreed := srv.Archive.GCNow()
+	final := srv.Archive.Tier()
+
+	mb := func(b int64) string { return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20)) }
+	t := &Table{
+		Caption: "E15. Durable tiered archive (disk spill, bounded memory, GC)",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("files x versions", fmt.Sprintf("%d x %d (+v0 each)", TieredFiles, TieredVersions))
+	t.AddRow("linked file size / edit size", fmt.Sprintf("%s / %s", mb(fileSize), mb(editSize)))
+	t.AddRow("churn wall time", Dur(churnWall))
+	t.AddRow("logical archive bytes", mb(dedup.LogicalBytes))
+	t.AddRow("on-disk archive bytes", mb(churn.DiskBytes))
+	t.AddRow("LRU budget", mb(budget))
+	t.AddRow("archive resident bytes", fmt.Sprintf("%s (bounded: %v)", mb(churn.ResidentBytes), churn.ResidentBytes <= budget))
+	t.AddRow("chunks spilled to disk", fmt.Sprintf("%d", churn.Spills))
+	t.AddRow("LRU evictions", fmt.Sprintf("%d", churn.Evictions))
+	t.AddRow("rollbacks restored from archive", fmt.Sprintf("%d/%d verified byte-identical", restoredOK, TieredFiles))
+	t.AddRow("chunks paged in by restores", fmt.Sprintf("%d", afterRestore.PageIns-churn.PageIns))
+	t.AddRow("files quarantined", fmt.Sprintf("%d", quarantined))
+	t.AddRow("quarantine files expired by GC", fmt.Sprintf("%d", expired))
+	t.AddRow("disk chunks before/after PIT restore + GC", fmt.Sprintf("%d / %d (GC freed %d)", diskBefore, final.DiskBlobs, gcFreed))
+	t.Note("resident bytes stay under the LRU budget no matter how many versions accumulate; the full deduplicated history lives on disk")
+	t.Note("restores and AsOf page evicted chunks back in on demand; GC unlinks chunk files no surviving version references and expires aged quarantine files")
+	return []*Table{t}, nil
+}

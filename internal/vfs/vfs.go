@@ -70,13 +70,22 @@ var (
 type FD int
 
 // fileEntry is one slot of the system open-file table.
+//
+// The descriptor offset has its own mutex: lookupFD hands the entry out
+// after releasing the shard lock, so two goroutines sharing an fd would
+// otherwise race on offset (and lose updates — both reading the same offset,
+// then both advancing from it). Read/Write hold the mutex across the I/O,
+// giving POSIX-style atomic offset advancement on shared descriptors;
+// positional ReadAt/WriteAt never touch the offset and stay lock-free.
 type fileEntry struct {
-	node   Node
-	of     OpenFile
-	cred   fs.Cred
-	mode   fs.AccessMode
+	node Node
+	of   OpenFile
+	cred fs.Cred
+	mode fs.AccessMode
+	name string
+
+	offMu  sync.Mutex
 	offset int64
-	name   string
 }
 
 // fdShardCount must be a power of two.
@@ -189,6 +198,8 @@ func (l *LFS) Read(fd FD, p []byte) (int, error) {
 	if e.mode&fs.AccessRead == 0 {
 		return 0, fs.ErrPermission
 	}
+	e.offMu.Lock()
+	defer e.offMu.Unlock()
 	n, err := l.fsys.FsRead(e.node, e.of, e.offset, p)
 	e.offset += int64(n)
 	return n, err
@@ -203,6 +214,8 @@ func (l *LFS) Write(fd FD, p []byte) (int, error) {
 	if e.mode&fs.AccessWrite == 0 {
 		return 0, fs.ErrPermission
 	}
+	e.offMu.Lock()
+	defer e.offMu.Unlock()
 	n, err := l.fsys.FsWrite(e.node, e.of, e.offset, p)
 	e.offset += int64(n)
 	return n, err
@@ -259,7 +272,9 @@ func (l *LFS) Seek(fd FD, off int64) error {
 	if off < 0 {
 		return fs.ErrInvalid
 	}
+	e.offMu.Lock()
 	e.offset = off
+	e.offMu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package vfs
+
+import (
+	"sync"
+	"testing"
+
+	"datalinks/internal/fs"
+)
+
+// TestSharedFDOffsetRace: goroutines hammering one descriptor must never
+// lose an offset update — every sequential Read consumes a distinct byte and
+// every sequential Write lands on a distinct offset. Before fileEntry grew
+// its offset mutex this was both a data race (caught by -race) and a lost
+// update (two readers returning the same byte).
+func TestSharedFDOffsetRace(t *testing.T) {
+	l, phys := newLFS(t)
+	cred := fs.Cred{UID: fs.Root}
+
+	const perWorker = 1000
+	const workers = 4
+	content := make([]byte, perWorker*workers)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if err := phys.WriteFile("/data/shared.bin", content); err != nil {
+		t.Fatal(err)
+	}
+
+	fd, err := l.Open(cred, "/data/shared.bin", fs.AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 1)
+			for i := 0; i < perWorker; i++ {
+				n, err := l.Read(fd, buf)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if n == 1 {
+					reads[w] = append(reads[w], buf[0])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	// Union of all reads must cover the file exactly once: a lost offset
+	// update shows up as a duplicate byte value plus a missed one.
+	seen := make(map[int]int)
+	total := 0
+	for _, r := range reads {
+		total += len(r)
+		for _, b := range r {
+			seen[int(b)]++
+		}
+	}
+	if total != len(content) {
+		t.Fatalf("read %d bytes total, want %d", total, len(content))
+	}
+	want := make(map[int]int)
+	for _, b := range content {
+		want[int(b)]++
+	}
+	for v := 0; v < 256; v++ {
+		if seen[v] != want[v] {
+			t.Fatalf("byte value %d read %d times, want %d (lost/duplicated offset)", v, seen[v], want[v])
+		}
+	}
+
+	// Writers: every sequential 1-byte write must land on a fresh offset, so
+	// the file ends up exactly workers*perWorker long with each worker's
+	// marker appearing exactly perWorker times.
+	wfd, err := l.Create(cred, "/data/out.bin", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			p := []byte{byte(200 + w)}
+			for i := 0; i < perWorker; i++ {
+				if _, err := l.Write(wfd, p); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	if err := l.Close(wfd); err != nil {
+		t.Fatal(err)
+	}
+	out, err := phys.ReadFile("/data/out.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != workers*perWorker {
+		t.Fatalf("file length %d after concurrent writes, want %d (lost offset updates)", len(out), workers*perWorker)
+	}
+	counts := make(map[byte]int)
+	for _, b := range out {
+		counts[b]++
+	}
+	for w := 0; w < workers; w++ {
+		if got := counts[byte(200+w)]; got != perWorker {
+			t.Fatalf("worker %d marker appears %d times, want %d", w, got, perWorker)
+		}
+	}
+}
