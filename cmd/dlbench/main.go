@@ -25,7 +25,16 @@
 // memory, page-in and GC counters) is configurable:
 //
 //	dlbench -exp E15 -e15-files 3 -e15-filesize 8 -e15-versions 10 -e15-budget 4
-//	dlbench -exp E15 -e15-dir /var/tmp/archive -json > BENCH_E15.json
+//	dlbench -exp E15 -e15-dir /var/tmp/archive -e15-compress -json > BENCH_E15.json
+//
+// The E16 restart-recovery experiment commits a deterministic version
+// history, hard-restarts the process state, and proves the durable catalog
+// serves every version byte-identically with zero re-archiving. Run it twice
+// against the same -e16-dir and the second run skips the churn entirely,
+// cold-serving the first run's history:
+//
+//	dlbench -exp E16 -e16-dir /var/tmp/e16 -json > BENCH_E16.json
+//	dlbench -exp E16 -e16-dir /var/tmp/e16    # verify-only: zero device transfer
 package main
 
 import (
@@ -59,6 +68,14 @@ func main() {
 		e15edit  = flag.Int("e15-editsize", 0, "E15: edit size in KiB")
 		e15budg  = flag.Int("e15-budget", 0, "E15: archive LRU memory budget in MiB")
 		e15dir   = flag.String("e15-dir", "", "E15: on-disk chunk store directory (default: private temp dir)")
+		e15comp  = flag.Bool("e15-compress", false, "E15: flate-compress spilled archive chunks")
+		e16files = flag.Int("e16-files", 0, "E16: linked files")
+		e16size  = flag.Int("e16-filesize", 0, "E16: linked file size in MiB")
+		e16vers  = flag.Int("e16-versions", 0, "E16: versions committed per file")
+		e16edit  = flag.Int("e16-editsize", 0, "E16: edit size in KiB")
+		e16budg  = flag.Int("e16-budget", 0, "E16: archive LRU memory budget in MiB")
+		e16dir   = flag.String("e16-dir", "", "E16: archive directory; if it already holds an E16 history, the run only cold-serves and verifies it (default: private temp dir)")
+		e16comp  = flag.Bool("e16-compress", false, "E16: flate-compress spilled archive chunks")
 	)
 	flag.Parse()
 
@@ -112,6 +129,30 @@ func main() {
 	}
 	if *e15dir != "" {
 		harness.TieredDir = *e15dir
+	}
+	if *e15comp {
+		harness.TieredCompress = true
+	}
+	if *e16files > 0 {
+		harness.RestartFiles = *e16files
+	}
+	if *e16size > 0 {
+		harness.RestartFileMB = *e16size
+	}
+	if *e16vers > 0 {
+		harness.RestartVersions = *e16vers
+	}
+	if *e16edit > 0 {
+		harness.RestartEditKB = *e16edit
+	}
+	if *e16budg > 0 {
+		harness.RestartBudgetMB = *e16budg
+	}
+	if *e16dir != "" {
+		harness.RestartDir = *e16dir
+	}
+	if *e16comp {
+		harness.RestartCompress = true
 	}
 
 	if *list {

@@ -79,6 +79,13 @@ type ServerConfig struct {
 	// ArchiveGCInterval runs the background sweeper that unlinks
 	// unreferenced on-disk chunks (0: manual GC only).
 	ArchiveGCInterval time.Duration
+	// ArchiveCheckpointEvery bounds the archive's delta chains: a full
+	// manifest at least every this many versions (<= 0: default of 16).
+	ArchiveCheckpointEvery int
+	// ArchiveCompress flate-compresses spilled archive chunks when that
+	// shrinks them (hashes still verify the uncompressed bytes). Only
+	// meaningful with ArchiveDir set.
+	ArchiveCompress bool
 	// QuarantineTTL expires quarantined in-flight versions after this age;
 	// QuarantineGCInterval runs the background quarantine sweeper.
 	QuarantineTTL        time.Duration
@@ -108,17 +115,19 @@ func Open(cfg Config) (*System, error) {
 	servers := make([]core.ServerConfig, len(cfg.Servers))
 	for i, s := range cfg.Servers {
 		servers[i] = core.ServerConfig{
-			Name:                 s.Name,
-			UpcallLatency:        s.UpcallLatency,
-			ArchiveLatency:       s.ArchiveLatency,
-			Strict:               s.Strict,
-			OpenWait:             s.OpenWait,
-			TCPUpcalls:           s.TCPUpcalls,
-			ArchiveDir:           s.ArchiveDir,
-			ArchiveMemoryBudget:  s.ArchiveMemoryBudget,
-			ArchiveGCInterval:    s.ArchiveGCInterval,
-			QuarantineTTL:        s.QuarantineTTL,
-			QuarantineGCInterval: s.QuarantineGCInterval,
+			Name:                   s.Name,
+			UpcallLatency:          s.UpcallLatency,
+			ArchiveLatency:         s.ArchiveLatency,
+			Strict:                 s.Strict,
+			OpenWait:               s.OpenWait,
+			TCPUpcalls:             s.TCPUpcalls,
+			ArchiveDir:             s.ArchiveDir,
+			ArchiveMemoryBudget:    s.ArchiveMemoryBudget,
+			ArchiveGCInterval:      s.ArchiveGCInterval,
+			ArchiveCheckpointEvery: s.ArchiveCheckpointEvery,
+			ArchiveCompress:        s.ArchiveCompress,
+			QuarantineTTL:          s.QuarantineTTL,
+			QuarantineGCInterval:   s.QuarantineGCInterval,
 		}
 	}
 	c, err := core.NewSystem(core.Config{

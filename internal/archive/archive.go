@@ -22,6 +22,13 @@
 //     blobs that reach zero are freed from memory immediately and their disk
 //     files are unlinked later by GC (a background sweeper or explicit
 //     GCNow).
+//   - With a directory configured, every version's manifest is also written
+//     through to a durable catalog (internal/catalog: append-only checksummed
+//     log + snapshot checkpoints, in the same directory), and TruncateAfter/
+//     Drop append tombstones. NewTiered over an existing directory replays
+//     the catalog: the whole version history comes back into service with
+//     zero re-archiving, which is what makes the archive a database-managed
+//     store rather than a cache over the chunk files.
 //
 // A configurable latency models the paper's tertiary archive device. The
 // latency of a Put is charged per NEW chunk transferred — deduplicated
@@ -40,10 +47,12 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"datalinks/internal/catalog"
 	"datalinks/internal/chunkdisk"
 	"datalinks/internal/extent"
 )
@@ -52,9 +61,9 @@ import (
 // at link time.
 type Version int64
 
-// checkpointEvery bounds the delta chain: at least every this many versions
-// a full manifest is stored, so materialization applies at most this many
-// deltas on top of one checkpoint.
+// checkpointEvery is the default delta-chain bound: at least every this many
+// versions a full manifest is stored, so materialization applies at most this
+// many deltas on top of one checkpoint (TierConfig.CheckpointEvery overrides).
 const checkpointEvery = 16
 
 // Entry is one archived version of one file: the metadata plus a handle
@@ -130,6 +139,18 @@ type verRec struct {
 // the new one.
 var genCounter atomic.Uint64
 
+// modsForCatalog converts the in-memory delta to the catalog's wire form.
+func modsForCatalog(mods []chunkMod) []catalog.Mod {
+	if len(mods) == 0 {
+		return nil
+	}
+	out := make([]catalog.Mod, len(mods))
+	for i, m := range mods {
+		out[i] = catalog.Mod{Idx: m.idx, Hash: m.hash}
+	}
+	return out
+}
+
 // fileVersions is the per-(server,path) version history.
 type fileVersions struct {
 	entries []Entry
@@ -180,6 +201,10 @@ type DedupStats struct {
 // TierConfig configures the durable tier.
 type TierConfig struct {
 	// Dir is the on-disk chunk store root; "" keeps the store memory-only.
+	// With a directory, the store also keeps a durable catalog (manifest log
+	// + snapshot checkpoints) there, and NewTiered replays it: a restarted
+	// process serves the full pre-restart version history with zero
+	// re-archiving.
 	Dir string
 	// MemoryBudget bounds the hot-chunk LRU (bytes); <= 0 uses the
 	// chunkdisk default. Ignored when Dir is empty.
@@ -187,15 +212,40 @@ type TierConfig struct {
 	// GCInterval starts a background sweeper unlinking unreferenced disk
 	// chunks this often; 0 leaves GC to explicit GCNow calls.
 	GCInterval time.Duration
+	// CheckpointEvery bounds the delta chain: a full manifest at least every
+	// this many versions (<= 0: the package default of 16; 1 makes every
+	// version a checkpoint).
+	CheckpointEvery int
+	// Compress flate-compresses spilled chunk files when that shrinks them;
+	// content hashes are still verified on the uncompressed bytes. Ignored
+	// when Dir is empty.
+	Compress bool
+	// CatalogCompactBytes checkpoints the catalog log once it outgrows this
+	// size (<= 0: the catalog default).
+	CatalogCompactBytes int64
+}
+
+// RecoveryStats reports what NewTiered replayed from an existing archive
+// directory.
+type RecoveryStats struct {
+	Files           int   // histories rebuilt from the catalog
+	Versions        int   // versions restored to service
+	DroppedVersions int   // versions discarded because a referenced blob is missing
+	TornBytes       int64 // invalid catalog-log tail quarantined at open
+	SnapshotRecords int   // catalog records loaded from the snapshot checkpoint
+	LogRecords      int   // catalog records replayed from the log
 }
 
 // Store is an archive server. Safe for concurrent use.
 type Store struct {
-	shards [shardCount]entryShard
-	dedup  [shardCount]dedupShard
-	disk   *chunkdisk.Store
-	seed   maphash.Seed
-	clock  func() time.Time
+	shards  [shardCount]entryShard
+	dedup   [shardCount]dedupShard
+	disk    *chunkdisk.Store
+	cat     *catalog.Catalog // nil in memory-only mode
+	ckEvery int
+	recov   RecoveryStats
+	seed    maphash.Seed
+	clock   func() time.Time
 
 	latency atomic.Int64 // nanoseconds per device transfer unit
 
@@ -224,20 +274,48 @@ func New(latency time.Duration, clock func() time.Time) *Store {
 	return s
 }
 
-// NewTiered returns an archive store with the durable tier configured.
+// NewTiered returns an archive store with the durable tier configured. With
+// a directory, any version history a previous process left there (catalog +
+// chunk files) is replayed back into service before the store returns: the
+// full index is rebuilt, chunk refcounts re-pinned, and every referenced blob
+// verified present — versions referencing missing blobs are dropped rather
+// than failing the open, and a torn catalog-log tail is quarantined. See
+// Recovery for what was replayed.
 func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (*Store, error) {
 	if clock == nil {
 		clock = time.Now
 	}
-	disk, err := chunkdisk.Open(chunkdisk.Config{Dir: tier.Dir, MemoryBudget: tier.MemoryBudget})
+	disk, err := chunkdisk.Open(chunkdisk.Config{Dir: tier.Dir, MemoryBudget: tier.MemoryBudget, Compress: tier.Compress})
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	s := &Store{seed: maphash.MakeSeed(), clock: clock, disk: disk}
+	s := &Store{seed: maphash.MakeSeed(), clock: clock, disk: disk, ckEvery: tier.CheckpointEvery}
+	if s.ckEvery <= 0 {
+		s.ckEvery = checkpointEvery
+	}
 	s.latency.Store(int64(latency))
 	for i := range s.shards {
 		s.shards[i].entries = make(map[string]*fileVersions)
 		s.dedup[i].blobs = make(map[extent.Hash]*dedupEntry)
+	}
+	if tier.Dir != "" {
+		cat, err := catalog.Open(tier.Dir, tier.CatalogCompactBytes)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %w", err)
+		}
+		repaired := s.replay(cat)
+		// Persist the folded-in log and any repairs as a fresh checkpoint so
+		// the next open starts from a snapshot and an empty log. A clean
+		// snapshot-only open (nothing to fold, nothing repaired) skips the
+		// rewrite — cold-open cost must not grow with archive size for a
+		// no-op.
+		if cat.LogSize() > 0 || s.recov.TornBytes > 0 || repaired {
+			if err := cat.Compact(); err != nil {
+				cat.Close()
+				return nil, fmt.Errorf("archive: %w", err)
+			}
+		}
+		s.cat = cat
 	}
 	if tier.Dir != "" && tier.GCInterval > 0 {
 		s.gcStop = make(chan struct{})
@@ -246,6 +324,138 @@ func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (
 	}
 	return s, nil
 }
+
+// replay rebuilds the in-memory version index from the catalog's shadow
+// state: for every key, walk the delta chain oldest-first, verify every blob
+// a version references actually exists in the chunk store, and only then
+// re-pin one blob reference per chunk slot (and tail) — so a version that
+// proves unservable never un-deadens blobs it will not use. The first
+// version referencing a missing blob ends that key's history — it and
+// everything after it are dropped (later deltas chain through it, and blobs
+// only vanish through corruption or manual deletion, so the safe prefix is
+// what remains). repaired reports whether any history was trimmed (the
+// caller then persists the repair via a catalog checkpoint).
+func (s *Store) replay(cat *catalog.Catalog) (repaired bool) {
+	st := cat.Stats()
+	s.recov.TornBytes = st.TornBytes
+	s.recov.SnapshotRecords = st.SnapshotRecords
+	s.recov.LogRecords = st.LogRecords
+	exists := make(map[extent.Hash]bool)
+	has := func(h extent.Hash) bool {
+		ok, seen := exists[h]
+		if !seen {
+			ok = s.disk.Has(h)
+			exists[h] = ok
+		}
+		return ok
+	}
+	claimed := make(map[extent.Hash]struct{})
+	claim := func(h extent.Hash) {
+		if _, done := claimed[h]; !done {
+			s.disk.Claim(h)
+			claimed[h] = struct{}{}
+		}
+	}
+	for _, k := range cat.Keys() {
+		hist := cat.History(k)
+		server, path, ok := splitKey(k)
+		if !ok {
+			// Not a key this store ever writes; ignore rather than guess.
+			cat.Trim(k, 0)
+			repaired = true
+			continue
+		}
+		fv := &fileVersions{gen: genCounter.Add(1)}
+		var full []extent.Hash
+		keep := len(hist)
+	scan:
+		for i, pr := range hist {
+			rec := recFromCatalog(pr)
+			full = applyRec(full, rec)
+			for _, h := range full {
+				if !has(h) {
+					keep = i
+					break scan
+				}
+			}
+			if rec.tailLen > 0 && !has(rec.tail) {
+				keep = i
+				break scan
+			}
+			// The version is servable: un-deaden and pin its references,
+			// then index it.
+			for _, h := range full {
+				claim(h)
+				s.addRef(h)
+			}
+			if rec.tailLen > 0 {
+				claim(rec.tail)
+				s.addRef(rec.tail)
+			}
+			fv.recs = append(fv.recs, rec)
+			fv.entries = append(fv.entries, Entry{
+				Server:  server,
+				Path:    path,
+				Version: Version(pr.Version),
+				StateID: pr.StateID,
+				Size:    pr.Size,
+				Stored:  time.Unix(0, pr.StoredUnixNano),
+				st:      s,
+				key:     k,
+				idx:     i,
+				gen:     fv.gen,
+			})
+			fv.last = full
+		}
+		if keep < len(hist) {
+			cat.Trim(k, keep)
+			s.recov.DroppedVersions += len(hist) - keep
+			repaired = true
+		}
+		if keep == 0 {
+			continue
+		}
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		sh.entries[k] = fv
+		sh.mu.Unlock()
+		s.recov.Files++
+		s.recov.Versions += keep
+	}
+	return repaired
+}
+
+// recFromCatalog converts a durable manifest record to the in-memory form,
+// sharing the (frozen) hash slices.
+func recFromCatalog(pr *catalog.PutRec) *verRec {
+	rec := &verRec{
+		isFull:  pr.IsFull,
+		full:    pr.Full,
+		nchunks: pr.NChunks,
+		tail:    pr.TailHash,
+		tailLen: pr.TailLen,
+	}
+	if !pr.IsFull {
+		rec.mods = make([]chunkMod, len(pr.Mods))
+		for i, m := range pr.Mods {
+			rec.mods[i] = chunkMod{idx: m.Idx, hash: m.Hash}
+		}
+	}
+	return rec
+}
+
+// applyRec advances a full hash list by one version record (a fresh slice is
+// returned; prev is not aliased).
+func applyRec(prev []extent.Hash, rec *verRec) []extent.Hash {
+	if rec.isFull {
+		return append([]extent.Hash(nil), rec.full...)
+	}
+	return applyDelta(append([]extent.Hash(nil), prev...), rec)
+}
+
+// Recovery reports what NewTiered replayed from the archive directory (zero
+// for a fresh or memory-only store).
+func (s *Store) Recovery() RecoveryStats { return s.recov }
 
 // gcLoop sweeps dead disk chunks until Close.
 func (s *Store) gcLoop(interval time.Duration) {
@@ -266,8 +476,10 @@ func (s *Store) gcLoop(interval time.Duration) {
 // freed (tests and explicit maintenance).
 func (s *Store) GCNow() int { return s.disk.Sweep() }
 
-// Close stops the background GC (if any), sweeping one final time. The
-// store remains usable — Close only retires the goroutine. Idempotent.
+// Close stops the background GC (if any), sweeps dead disk chunks one final
+// time, and closes the durable catalog. A memory-only store remains usable
+// afterwards; a tiered store rejects further Puts (its catalog is closed) but
+// keeps serving reads. Idempotent.
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
 		if s.gcStop != nil {
@@ -275,10 +487,22 @@ func (s *Store) Close() {
 			<-s.gcDone
 		}
 		s.disk.Sweep()
+		if s.cat != nil {
+			s.cat.Close()
+		}
 	})
 }
 
 func key(server, path string) string { return server + "\x00" + path }
+
+// splitKey is key's inverse (catalog replay).
+func splitKey(k string) (server, path string, ok bool) {
+	i := strings.IndexByte(k, 0)
+	if i < 0 {
+		return "", "", false
+	}
+	return k[:i], k[i+1:], true
+}
 
 // shardFor picks the entry shard for a key.
 func (s *Store) shardFor(k string) *entryShard {
@@ -350,6 +574,22 @@ func (s *Store) releaseRec(hashes []extent.Hash, rec *verRec) {
 	}
 }
 
+// applyDelta advances hashes by one delta record in place (resize to the
+// record's chunk count, then apply the changed slots) — the single
+// implementation of the chain-step semantics, shared by live materialization
+// (hashesAt) and catalog replay (applyRec).
+func applyDelta(hashes []extent.Hash, rec *verRec) []extent.Hash {
+	if rec.nchunks <= len(hashes) {
+		hashes = hashes[:rec.nchunks]
+	} else {
+		hashes = append(hashes, make([]extent.Hash, rec.nchunks-len(hashes))...)
+	}
+	for _, m := range rec.mods {
+		hashes[m.idx] = m.hash
+	}
+	return hashes
+}
+
 // hashesAt materializes the full hash list of version index idx by walking
 // back to the nearest checkpoint and applying deltas forward. Caller holds
 // the entry shard lock.
@@ -360,15 +600,7 @@ func hashesAt(fv *fileVersions, idx int) []extent.Hash {
 	}
 	hashes := append([]extent.Hash(nil), fv.recs[base].full...)
 	for i := base + 1; i <= idx; i++ {
-		rec := fv.recs[i]
-		if rec.nchunks <= len(hashes) {
-			hashes = hashes[:rec.nchunks]
-		} else {
-			hashes = append(hashes, make([]extent.Hash, rec.nchunks-len(hashes))...)
-		}
-		for _, m := range rec.mods {
-			hashes[m.idx] = m.hash
-		}
+		hashes = applyDelta(hashes, fv.recs[i])
 	}
 	return hashes
 }
@@ -464,7 +696,7 @@ func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap
 			}
 		}
 	}
-	if len(fv.recs) == 0 || sinceFull+1 >= checkpointEvery || len(mods)*2 >= len(hashes) {
+	if len(fv.recs) == 0 || sinceFull+1 >= s.ckEvery || len(mods)*2 >= len(hashes) {
 		rec.isFull = true
 		rec.full = append([]extent.Hash(nil), hashes...)
 	} else {
@@ -472,6 +704,8 @@ func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap
 	}
 	st.DeltaChunks = len(mods)
 	size := snap.Len()
+	stored := s.clock()
+	prevLast := fv.last
 	fv.recs = append(fv.recs, rec)
 	fv.entries = append(fv.entries, Entry{
 		Server:  server,
@@ -479,14 +713,55 @@ func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap
 		Version: v,
 		StateID: stateID,
 		Size:    size,
-		Stored:  s.clock(),
+		Stored:  stored,
 		st:      s,
 		key:     k,
 		idx:     len(fv.entries),
 		gen:     fv.gen,
 	})
 	fv.last = hashes
+	if s.cat != nil {
+		// Write the manifest through to the durable catalog before the
+		// version becomes visible outside the shard lock. The chunk bytes are
+		// already on the device (written above), so a crash right here loses
+		// only this version's index entry — its blobs are adopted as dead and
+		// swept at the next open, and recovery's pending-archive pass
+		// re-archives the version.
+		pr := &catalog.PutRec{
+			Key:            k,
+			Version:        int64(v),
+			StateID:        stateID,
+			Size:           size,
+			StoredUnixNano: stored.UnixNano(),
+			NChunks:        rec.nchunks,
+			TailLen:        rec.tailLen,
+			TailHash:       rec.tail,
+			IsFull:         rec.isFull,
+			Full:           rec.full,
+			Mods:           modsForCatalog(rec.mods),
+		}
+		if err := s.cat.AppendPut(pr); err != nil {
+			// Unwind the insert: an unlogged version must not be served (it
+			// would silently vanish at the next restart).
+			fv.recs = fv.recs[:len(fv.recs)-1]
+			fv.entries = fv.entries[:len(fv.entries)-1]
+			fv.last = prevLast
+			if len(fv.entries) == 0 {
+				delete(sh.entries, k)
+			}
+			sh.mu.Unlock()
+			s.releaseRec(hashes, rec)
+			return PutStats{}, fmt.Errorf("archive: catalog: %w", err)
+		}
+	}
 	sh.mu.Unlock()
+	if s.cat != nil {
+		// Checkpoint the catalog if this append pushed the log past its
+		// threshold — outside the shard lock, so a large snapshot write never
+		// stalls this shard's readers. Best-effort: on failure the log keeps
+		// growing and a later append retries.
+		_ = s.cat.CompactIfDue()
+	}
 
 	s.puts.Add(1)
 	s.logicalBytes.Add(size)
@@ -627,15 +902,19 @@ func (s *Store) AsOf(server, path string, stateID uint64) (Entry, error) {
 }
 
 // TruncateAfter discards versions with StateID > stateID (used when the
-// database itself is restored to an earlier point in time).
-func (s *Store) TruncateAfter(server, path string, stateID uint64) {
+// database itself is restored to an earlier point in time). The tombstone is
+// logged before any state changes: on a catalog failure nothing is dropped
+// and the error is returned, so memory and the durable log can never
+// disagree about which versions exist (dropped blobs linger on disk until a
+// sweep, and an un-tombstoned restart would resurrect them).
+func (s *Store) TruncateAfter(server, path string, stateID uint64) error {
 	k := key(server, path)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	fv := sh.entries[k]
 	if fv == nil {
 		sh.mu.Unlock()
-		return
+		return nil
 	}
 	cut := len(fv.entries)
 	for i, e := range fv.entries {
@@ -646,7 +925,13 @@ func (s *Store) TruncateAfter(server, path string, stateID uint64) {
 	}
 	if cut == len(fv.entries) {
 		sh.mu.Unlock()
-		return
+		return nil
+	}
+	if s.cat != nil {
+		if err := s.cat.AppendTruncate(k, cut); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("archive: catalog: %w", err)
+		}
 	}
 	// Materialize the dropped versions' hash lists before mutating the
 	// chain (their checkpoints may themselves be dropped).
@@ -666,9 +951,13 @@ func (s *Store) TruncateAfter(server, path string, stateID uint64) {
 		fv.last = hashesAt(fv, cut-1)
 	}
 	sh.mu.Unlock()
+	if s.cat != nil {
+		_ = s.cat.CompactIfDue()
+	}
 	for _, d := range drops {
 		s.releaseRec(d.hashes, d.rec)
 	}
+	return nil
 }
 
 // Versions lists the archived versions of a file in order.
@@ -703,15 +992,22 @@ func (s *Store) Files(server string) []string {
 	return out
 }
 
-// Drop discards every version of a file (after unlink with no recovery need).
-func (s *Store) Drop(server, path string) {
+// Drop discards every version of a file (after unlink with no recovery
+// need). Tombstone-first like TruncateAfter: a catalog failure drops nothing.
+func (s *Store) Drop(server, path string) error {
 	k := key(server, path)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	fv := sh.entries[k]
 	if fv == nil {
 		sh.mu.Unlock()
-		return
+		return nil
+	}
+	if s.cat != nil {
+		if err := s.cat.AppendDrop(k); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("archive: catalog: %w", err)
+		}
 	}
 	type dropped struct {
 		hashes []extent.Hash
@@ -723,9 +1019,13 @@ func (s *Store) Drop(server, path string) {
 	}
 	delete(sh.entries, k)
 	sh.mu.Unlock()
+	if s.cat != nil {
+		_ = s.cat.CompactIfDue()
+	}
 	for _, d := range drops {
 		s.releaseRec(d.hashes, d.rec)
 	}
+	return nil
 }
 
 // Stats reports operation counts for benchmarks. bytes is the logical size

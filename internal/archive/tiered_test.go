@@ -20,21 +20,25 @@ func newTiered(t *testing.T, budget int64) *Store {
 	return s
 }
 
-// diskBlobFiles counts blob files physically present under the store's dir.
+// diskBlobFiles counts blob files physically present under the store's dir
+// (the two-hex-digit fan-out subdirectories; the catalog's own files at the
+// root are not blobs).
 func diskBlobFiles(t *testing.T, s *Store) int {
 	t.Helper()
 	n := 0
-	err := filepath.WalkDir(s.TierDir(), func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			n++
-		}
-		return nil
-	})
+	subdirs, err := os.ReadDir(s.TierDir())
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, sub := range subdirs {
+		if !sub.IsDir() || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.TierDir(), sub.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(files)
 	}
 	return n
 }

@@ -1,0 +1,718 @@
+// Package catalog is the durable metadata plane of the tiered archive: an
+// append-only, checksummed manifest log plus periodic snapshot checkpoints
+// that persist every archived version's delta manifest (key, version, state
+// id, changed-slot list, chunk hashes, tail hash) alongside the chunkdisk
+// blob directory. With it, the chunk directory is self-describing: a
+// restarted process replays snapshot+log and can serve the full version
+// history from cold storage with zero re-archiving.
+//
+// On-disk layout (all files live in the chunkdisk root, next to the ab/cdef
+// blob fan-out, which only uses two-character subdirectories):
+//
+//	catalog.snap      last snapshot checkpoint (atomic temp+rename)
+//	catalog.snap.tmp  in-flight snapshot (removed on open if stranded)
+//	catalog.log       records appended since the snapshot
+//	catalog.torn      quarantined torn tail of the log (last crash's evidence)
+//
+// Record framing is uniform across the log and the snapshot body:
+//
+//	uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// and every payload starts with a monotonic sequence number. The snapshot
+// header carries the sequence it covers, so a crash between "rename snapshot"
+// and "truncate log" is harmless: replay skips log records whose sequence the
+// snapshot already includes (and record application is idempotent besides).
+//
+// Torn tails are expected, not fatal: appends are not synced record-by-record
+// (matching the blob store, which also relies on the OS to flush), so a crash
+// can leave a half-written final record. Open recovers the longest valid
+// prefix, quarantines the invalid suffix to catalog.torn, and truncates the
+// log so new appends never interleave with garbage. Only the records at risk
+// are the ones after the last flush — earlier versions are never lost.
+//
+// The catalog keeps an in-memory shadow of the replayed state (delta-form
+// records, so shadow memory is O(changed chunks) per version, the same bound
+// as the archive's own metadata). Snapshots serialize the shadow; the archive
+// reads it back through Keys/History at open.
+//
+// A catalog (like the chunkdisk directory it lives in) has a single owner
+// process at a time; two stores over one directory corrupt each other.
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"datalinks/internal/extent"
+)
+
+// File names within the store directory.
+const (
+	logName     = "catalog.log"
+	snapName    = "catalog.snap"
+	snapTmpName = "catalog.snap.tmp"
+	tornName    = "catalog.torn"
+)
+
+// snapMagic identifies a snapshot file (8 bytes: format name + version).
+var snapMagic = [8]byte{'D', 'L', 'C', 'A', 'T', 'S', 'N', '1'}
+
+// DefaultCompactBytes triggers a snapshot checkpoint once the log grows past
+// this size (the archive can override via its tier config).
+const DefaultCompactBytes = 4 << 20
+
+// Record kinds.
+const (
+	kindPut      = 1 // a version archived
+	kindTruncate = 2 // point-in-time truncate: keep only the first N versions
+	kindDrop     = 3 // whole history discarded (unlink)
+)
+
+// maxRecordBytes bounds a single record (sanity check while scanning: a
+// corrupted length prefix must not allocate gigabytes).
+const maxRecordBytes = 64 << 20
+
+// Mod is one changed slot of a delta manifest.
+type Mod struct {
+	Idx  int32
+	Hash extent.Hash
+}
+
+// PutRec is the durable manifest of one archived version. Full/Mods slices
+// are shared with the archive's in-memory records and must never be mutated
+// after append.
+type PutRec struct {
+	Key            string // server "\x00" path
+	Version        int64
+	StateID        uint64
+	Size           int64
+	StoredUnixNano int64
+	NChunks        int
+	TailLen        int
+	TailHash       extent.Hash   // meaningful when TailLen > 0
+	IsFull         bool          // checkpoint manifest (Full) vs delta (Mods)
+	Full           []extent.Hash // every chunk hash, checkpoint only
+	Mods           []Mod         // changed slots, delta only
+}
+
+// OpenStats reports what Open found and recovered.
+type OpenStats struct {
+	SnapshotRecords int   // records loaded from catalog.snap
+	LogRecords      int   // records applied from catalog.log
+	StaleSkipped    int   // log records already covered by the snapshot
+	TornBytes       int64 // invalid log suffix quarantined to catalog.torn
+	Keys            int   // distinct histories after replay
+	Versions        int   // total versions after replay
+}
+
+// history is the shadow state of one key.
+type history struct {
+	puts []*PutRec
+}
+
+// Catalog is the durable version-metadata store. Safe for concurrent use.
+type Catalog struct {
+	dir       string
+	compactAt int64
+
+	mu         sync.Mutex
+	log        *os.File
+	logBytes   int64
+	seq        uint64
+	files      map[string]*history
+	stats      OpenStats
+	compactDue bool
+	closed     bool
+}
+
+// ErrClosed rejects appends after Close.
+var ErrClosed = errors.New("catalog: closed")
+
+// Open replays the catalog in dir (snapshot, then log), quarantining any torn
+// log tail, and returns it ready for appends. compactAt <= 0 uses
+// DefaultCompactBytes.
+func Open(dir string, compactAt int64) (*Catalog, error) {
+	if compactAt <= 0 {
+		compactAt = DefaultCompactBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	// A crash mid-snapshot strands the temp file; the renamed snapshot (or
+	// its absence) is the truth.
+	os.Remove(filepath.Join(dir, snapTmpName))
+
+	c := &Catalog{dir: dir, compactAt: compactAt, files: make(map[string]*history)}
+	snapSeq, err := c.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	c.seq = snapSeq
+	if err := c.loadLog(snapSeq); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(c.path(logName), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if _, err := f.Seek(c.logBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	c.log = f
+	for _, h := range c.files {
+		c.stats.Versions += len(h.puts)
+	}
+	c.stats.Keys = len(c.files)
+	return c, nil
+}
+
+func (c *Catalog) path(name string) string { return filepath.Join(c.dir, name) }
+
+// loadSnapshot applies the snapshot checkpoint, returning the sequence it
+// covers (0 when there is none). A snapshot is written atomically, so a
+// decode failure is real corruption and fails the open.
+func (c *Catalog) loadSnapshot() (uint64, error) {
+	data, err := os.ReadFile(c.path(snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("catalog: %w", err)
+	}
+	if len(data) < len(snapMagic)+8 || [8]byte(data[:8]) != snapMagic {
+		return 0, fmt.Errorf("catalog: snapshot header corrupted")
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	rest := data[16:]
+	for len(rest) > 0 {
+		payload, n, ok := nextRecord(rest)
+		if !ok {
+			return 0, fmt.Errorf("catalog: snapshot body corrupted")
+		}
+		if err := c.apply(payload); err != nil {
+			return 0, fmt.Errorf("catalog: snapshot: %w", err)
+		}
+		c.stats.SnapshotRecords++
+		rest = rest[n:]
+	}
+	return seq, nil
+}
+
+// loadLog applies log records with sequence > snapSeq, recovering the longest
+// valid prefix: the first framing/checksum/decode failure ends the scan, the
+// invalid suffix is quarantined to catalog.torn, and the log file is
+// truncated to the valid prefix.
+func (c *Catalog) loadLog(snapSeq uint64) error {
+	data, err := os.ReadFile(c.path(logName))
+	if errors.Is(err, os.ErrNotExist) {
+		c.logBytes = 0
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	valid := int64(0)
+	rest := data
+	for len(rest) > 0 {
+		payload, n, ok := nextRecord(rest)
+		if !ok {
+			break
+		}
+		seq, perr := c.applySeq(payload, snapSeq)
+		if perr != nil {
+			// A record that frames and checksums but does not decode is as
+			// torn as a bad checksum: quarantine from here.
+			break
+		}
+		if seq > c.seq {
+			c.seq = seq
+		}
+		valid += int64(n)
+		rest = rest[n:]
+	}
+	if torn := int64(len(data)) - valid; torn > 0 {
+		if err := os.WriteFile(c.path(tornName), data[valid:], 0o644); err != nil {
+			return fmt.Errorf("catalog: quarantining torn tail: %w", err)
+		}
+		if err := os.Truncate(c.path(logName), valid); err != nil {
+			return fmt.Errorf("catalog: truncating torn tail: %w", err)
+		}
+		c.stats.TornBytes = torn
+	}
+	c.logBytes = valid
+	return nil
+}
+
+// applySeq decodes the payload's sequence and applies the record unless the
+// snapshot already covers it, returning the sequence.
+func (c *Catalog) applySeq(payload []byte, snapSeq uint64) (uint64, error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, fmt.Errorf("catalog: bad record sequence")
+	}
+	if seq <= snapSeq {
+		// Already in the snapshot: a crash hit between snapshot rename and
+		// log truncation.
+		c.stats.StaleSkipped++
+		return seq, nil
+	}
+	if err := c.apply(payload); err != nil {
+		return 0, err
+	}
+	c.stats.LogRecords++
+	return seq, nil
+}
+
+// nextRecord frames one record off buf: payload, total bytes consumed, ok.
+func nextRecord(buf []byte) (payload []byte, n int, ok bool) {
+	if len(buf) < 8 {
+		return nil, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(buf[0:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if plen == 0 || plen > maxRecordBytes || int64(len(buf)) < 8+int64(plen) {
+		return nil, 0, false
+	}
+	payload = buf[8 : 8+plen]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	return payload, 8 + int(plen), true
+}
+
+// apply decodes one payload and updates the shadow. Every payload — snapshot
+// body (sequence zero) or log — starts with its sequence varint. Application
+// is idempotent: a put whose version is not newer than the key's newest is
+// skipped, truncates and drops of absent state are no-ops.
+func (c *Catalog) apply(payload []byte) error {
+	d := &decoder{buf: payload}
+	d.uvarint() // sequence; ordering already handled by the caller
+	kind := d.byte()
+	key := d.str()
+	switch kind {
+	case kindPut:
+		r := &PutRec{Key: key}
+		r.Version = int64(d.uvarint())
+		r.StateID = d.uvarint()
+		r.Size = d.varint()
+		r.StoredUnixNano = d.varint()
+		r.NChunks = int(d.uvarint())
+		r.TailLen = int(d.uvarint())
+		if r.TailLen > 0 {
+			r.TailHash = d.hash()
+		}
+		r.IsFull = d.byte() == 1
+		n := int(d.uvarint())
+		if d.err == nil && n > maxRecordBytes/len(extent.Hash{}) {
+			return fmt.Errorf("catalog: absurd manifest length %d", n)
+		}
+		if r.IsFull {
+			if n > 0 {
+				r.Full = make([]extent.Hash, n)
+				for i := range r.Full {
+					r.Full[i] = d.hash()
+				}
+			}
+		} else if n > 0 {
+			r.Mods = make([]Mod, n)
+			for i := range r.Mods {
+				r.Mods[i].Idx = int32(d.uvarint())
+				r.Mods[i].Hash = d.hash()
+			}
+		}
+		if d.err != nil || d.rest() != 0 {
+			return fmt.Errorf("catalog: put record corrupted")
+		}
+		h := c.files[key]
+		if h == nil {
+			h = &history{}
+			c.files[key] = h
+		}
+		if n := len(h.puts); n > 0 && h.puts[n-1].Version >= r.Version {
+			return nil // replayed duplicate
+		}
+		h.puts = append(h.puts, r)
+	case kindTruncate:
+		keep := int(d.uvarint())
+		if d.err != nil || d.rest() != 0 {
+			return fmt.Errorf("catalog: truncate record corrupted")
+		}
+		c.trimLocked(key, keep)
+	case kindDrop:
+		if d.err != nil || d.rest() != 0 {
+			return fmt.Errorf("catalog: drop record corrupted")
+		}
+		delete(c.files, key)
+	default:
+		return fmt.Errorf("catalog: unknown record kind %d", kind)
+	}
+	return d.err
+}
+
+// Stats reports what Open recovered.
+func (c *Catalog) Stats() OpenStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// LogSize reports the current log length in bytes (tests, compaction
+// diagnostics).
+func (c *Catalog) LogSize() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logBytes
+}
+
+// Keys lists every key with at least one version, sorted.
+func (c *Catalog) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.files))
+	for k := range c.files {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// History returns the key's versions in order. The returned records are the
+// shadow's own (shared with future snapshots): callers must not mutate them,
+// and the slice is a copy so later appends/trims don't race the caller.
+func (c *Catalog) History(key string) []*PutRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.files[key]
+	if h == nil {
+		return nil
+	}
+	return append([]*PutRec(nil), h.puts...)
+}
+
+// AppendPut logs one archived version and updates the shadow. The record's
+// slices are retained (not copied) — the caller must treat them as frozen.
+func (c *Catalog) AppendPut(r *PutRec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.seq++
+	payload := encodePut(c.seq, r)
+	if err := c.appendLocked(payload); err != nil {
+		c.seq--
+		return err
+	}
+	h := c.files[r.Key]
+	if h == nil {
+		h = &history{}
+		c.files[r.Key] = h
+	}
+	h.puts = append(h.puts, r)
+	c.markCompactLocked()
+	return nil
+}
+
+// AppendTruncate logs a point-in-time truncation: only the first keep
+// versions of key survive.
+func (c *Catalog) AppendTruncate(key string, keep int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.seq++
+	payload := encodeKeyRecord(kindTruncate, c.seq, key, uint64(keep), true)
+	if err := c.appendLocked(payload); err != nil {
+		c.seq--
+		return err
+	}
+	c.trimLocked(key, keep)
+	c.markCompactLocked()
+	return nil
+}
+
+// AppendDrop logs the discard of a key's whole history.
+func (c *Catalog) AppendDrop(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.seq++
+	payload := encodeKeyRecord(kindDrop, c.seq, key, 0, false)
+	if err := c.appendLocked(payload); err != nil {
+		c.seq--
+		return err
+	}
+	delete(c.files, key)
+	c.markCompactLocked()
+	return nil
+}
+
+// Trim cuts a key's shadow history to its first keep versions WITHOUT logging
+// a record — the archive's replay uses it to discard versions whose blobs are
+// missing from the chunk store, then persists the repaired state via Compact.
+func (c *Catalog) Trim(key string, keep int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trimLocked(key, keep)
+}
+
+// trimLocked cuts a key's shadow history to its first keep versions.
+func (c *Catalog) trimLocked(key string, keep int) {
+	if h := c.files[key]; h != nil && keep < len(h.puts) {
+		h.puts = h.puts[:keep]
+		if keep == 0 {
+			delete(c.files, key)
+		}
+	}
+}
+
+// appendLocked frames and writes one payload to the log. A partial write is
+// rewound (truncate + re-seek) so the next append never lands after garbage;
+// if even the rewind fails, replay's torn-tail quarantine covers it.
+func (c *Catalog) appendLocked(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf := append(hdr[:], payload...)
+	if _, err := c.log.Write(buf); err != nil {
+		_ = c.log.Truncate(c.logBytes)
+		_, _ = c.log.Seek(c.logBytes, io.SeekStart)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	c.logBytes += int64(len(buf))
+	return nil
+}
+
+// markCompactLocked flags the log as due for a checkpoint once it outgrows
+// the threshold. The append itself never fails on compaction grounds — the
+// record is already durable in the log at this point, so a snapshot problem
+// must not make the caller unwind state the catalog keeps. The actual
+// checkpoint runs in CompactIfDue, which the archive calls OUTSIDE its entry
+// shard locks so a large snapshot write never stalls reads of the shard.
+func (c *Catalog) markCompactLocked() {
+	if c.logBytes > c.compactAt {
+		c.compactDue = true
+	}
+}
+
+// CompactIfDue checkpoints if an append pushed the log past the threshold.
+// Best-effort by design: on failure the log simply keeps growing and the next
+// append re-arms the flag (the durable state stays consistent — the snapshot
+// is only renamed into place when complete, and the log is only truncated
+// after that).
+func (c *Catalog) CompactIfDue() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || !c.compactDue {
+		return nil
+	}
+	c.compactDue = false
+	if err := c.compactLocked(); err != nil {
+		c.compactDue = true
+		return err
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the shadow and truncates the log. The archive
+// calls it after replay (so the next open starts from a clean checkpoint) and
+// it runs automatically when the log outgrows the compaction threshold.
+func (c *Catalog) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.compactLocked()
+}
+
+func (c *Catalog) compactLocked() error {
+	var buf []byte
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], c.seq)
+	buf = append(buf, hdr[:]...)
+	keys := make([]string, 0, len(c.files))
+	for k := range c.files {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var frame [8]byte
+	for _, k := range keys {
+		for _, r := range c.files[k].puts {
+			payload := encodePut(0, r) // snapshot records carry sequence 0
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+			buf = append(buf, frame[:]...)
+			buf = append(buf, payload...)
+		}
+	}
+	tmp := c.path(snapTmpName)
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp, c.path(snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	// The snapshot covers every sequence up to c.seq; the log restarts empty.
+	if err := c.log.Truncate(0); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if _, err := c.log.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	c.logBytes = 0
+	return nil
+}
+
+// Close flushes nothing (appends are unbuffered) and closes the log handle.
+// Further appends fail with ErrClosed.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.log.Close()
+}
+
+// --- encoding ---
+
+func encodePut(seq uint64, r *PutRec) []byte {
+	buf := make([]byte, 0, 64+len(r.Key)+32*(len(r.Full)+len(r.Mods)))
+	buf = binary.AppendUvarint(buf, seq)
+	buf = append(buf, kindPut)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.AppendUvarint(buf, uint64(r.Version))
+	buf = binary.AppendUvarint(buf, r.StateID)
+	buf = binary.AppendVarint(buf, r.Size)
+	buf = binary.AppendVarint(buf, r.StoredUnixNano)
+	buf = binary.AppendUvarint(buf, uint64(r.NChunks))
+	buf = binary.AppendUvarint(buf, uint64(r.TailLen))
+	if r.TailLen > 0 {
+		buf = append(buf, r.TailHash[:]...)
+	}
+	if r.IsFull {
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Full)))
+		for i := range r.Full {
+			buf = append(buf, r.Full[i][:]...)
+		}
+	} else {
+		buf = append(buf, 0)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Mods)))
+		for i := range r.Mods {
+			buf = binary.AppendUvarint(buf, uint64(r.Mods[i].Idx))
+			buf = append(buf, r.Mods[i].Hash[:]...)
+		}
+	}
+	return buf
+}
+
+func encodeKeyRecord(kind byte, seq uint64, key string, arg uint64, hasArg bool) []byte {
+	buf := make([]byte, 0, 24+len(key))
+	buf = binary.AppendUvarint(buf, seq)
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	if hasArg {
+		buf = binary.AppendUvarint(buf, arg)
+	}
+	return buf
+}
+
+// decoder reads the primitives of a record payload, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("catalog: record truncated")
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) hash() extent.Hash {
+	var h extent.Hash
+	if d.err != nil {
+		return h
+	}
+	if len(d.buf) < len(h) {
+		d.fail()
+		return h
+	}
+	copy(h[:], d.buf)
+	d.buf = d.buf[len(h):]
+	return h
+}
+
+// rest reports unconsumed payload bytes (a clean record ends at zero).
+func (d *decoder) rest() int { return len(d.buf) }

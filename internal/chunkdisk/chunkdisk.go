@@ -24,12 +24,16 @@
 package chunkdisk
 
 import (
+	"bytes"
+	"compress/flate"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +57,14 @@ type Config struct {
 	// DefaultMemoryBudget. Ignored in memory-only mode (nothing backs an
 	// evicted chunk there).
 	MemoryBudget int64
+	// Compress writes spilled blobs through compress/flate when that makes
+	// them smaller (a blob that would grow — e.g. already-random content —
+	// stays raw; the decision is per blob, recorded in the file name's ".z"
+	// suffix). Content hashes are always verified on the UNCOMPRESSED bytes,
+	// so a corrupted compressed file still surfaces as an error on page-in.
+	// A store opened without Compress still reads ".z" blobs left by an
+	// earlier compressed store, and vice versa.
+	Compress bool
 }
 
 // Stats is a point-in-time view of the tier counters.
@@ -64,8 +76,13 @@ type Stats struct {
 	ResidentBlobs int64 // blobs currently in the LRU
 	ResidentBytes int64 // bytes currently in the LRU
 	DiskBlobs     int64 // blobs currently on disk (incl. dead, pre-sweep)
-	DiskBytes     int64 // bytes currently on disk
-	DeadBlobs     int64 // disk blobs awaiting sweep
+	DiskBytes     int64 // physical bytes currently on disk (post-compression)
+	// DiskLogicalBytes is the uncompressed size of the on-disk blobs whose
+	// logical size is known: everything written by this process, plus adopted
+	// raw blobs. An adopted ".z" blob is counted at its physical size until
+	// its first page-in learns (and corrects to) the real logical length.
+	DiskLogicalBytes int64
+	DeadBlobs        int64 // disk blobs awaiting sweep
 }
 
 // entry is one resident blob.
@@ -80,32 +97,41 @@ type entry struct {
 	writing bool
 }
 
+// diskMeta describes one on-disk blob file.
+type diskMeta struct {
+	size       int64 // physical file length
+	logical    int64 // uncompressed length (== size for raw blobs)
+	compressed bool  // stored with the ".z" suffix, flate-encoded
+}
+
 // shard is one stripe of the store.
 type shard struct {
 	mu       sync.Mutex
 	resident map[extent.Hash]*entry
 	lru      *list.List // of *entry; front = hottest
 	resBytes int64
-	onDisk   map[extent.Hash]int64    // hash -> blob length
+	onDisk   map[extent.Hash]diskMeta
 	dead     map[extent.Hash]struct{} // on disk, unreferenced, awaiting sweep
 	sweeping map[extent.Hash]struct{} // claimed by an in-flight sweep
 }
 
 // Store is a tiered blob store. Safe for concurrent use.
 type Store struct {
-	dir    string // "" = memory-only
-	budget int64  // per shard
-	shards [shardCount]shard
+	dir      string // "" = memory-only
+	budget   int64  // per shard
+	compress bool
+	shards   [shardCount]shard
 
-	spills    atomic.Int64
-	pageIns   atomic.Int64
-	evictions atomic.Int64
-	gcFreed   atomic.Int64
-	resBlobs  atomic.Int64
-	resBytes  atomic.Int64
-	diskBlobs atomic.Int64
-	diskBytes atomic.Int64
-	deadBlobs atomic.Int64
+	spills      atomic.Int64
+	pageIns     atomic.Int64
+	evictions   atomic.Int64
+	gcFreed     atomic.Int64
+	resBlobs    atomic.Int64
+	resBytes    atomic.Int64
+	diskBlobs   atomic.Int64
+	diskBytes   atomic.Int64
+	diskLogical atomic.Int64
+	deadBlobs   atomic.Int64
 }
 
 // Open returns a store over cfg.Dir, creating the directory if needed. Blob
@@ -117,12 +143,12 @@ func Open(cfg Config) (*Store, error) {
 	if budget <= 0 {
 		budget = DefaultMemoryBudget
 	}
-	s := &Store{dir: cfg.Dir, budget: budget / shardCount}
+	s := &Store{dir: cfg.Dir, budget: budget / shardCount, compress: cfg.Compress}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.resident = make(map[extent.Hash]*entry)
 		sh.lru = list.New()
-		sh.onDisk = make(map[extent.Hash]int64)
+		sh.onDisk = make(map[extent.Hash]diskMeta)
 		sh.dead = make(map[extent.Hash]struct{})
 		sh.sweeping = make(map[extent.Hash]struct{})
 	}
@@ -162,7 +188,8 @@ func (s *Store) adoptExisting() error {
 			return fmt.Errorf("chunkdisk: %w", err)
 		}
 		for _, fi := range files {
-			raw, err := hex.DecodeString(sub.Name() + fi.Name())
+			name, compressed := strings.CutSuffix(fi.Name(), ".z")
+			raw, err := hex.DecodeString(sub.Name() + name)
 			if err != nil || len(raw) != len(extent.Hash{}) {
 				continue // not a blob file; leave it alone
 			}
@@ -174,11 +201,14 @@ func (s *Store) adoptExisting() error {
 			copy(h[:], raw)
 			sh := s.shardFor(h)
 			sh.mu.Lock()
-			sh.onDisk[h] = info.Size()
+			// Logical size of an adopted compressed blob is unknown until it
+			// is read; account its physical size (see Stats.DiskLogicalBytes).
+			sh.onDisk[h] = diskMeta{size: info.Size(), logical: info.Size(), compressed: compressed}
 			sh.dead[h] = struct{}{}
 			sh.mu.Unlock()
 			s.diskBlobs.Add(1)
 			s.diskBytes.Add(info.Size())
+			s.diskLogical.Add(info.Size())
 			s.deadBlobs.Add(1)
 		}
 	}
@@ -190,10 +220,15 @@ func (s *Store) shardFor(h extent.Hash) *shard {
 	return &s.shards[h[0]&(shardCount-1)]
 }
 
-// path returns the blob file for a hash: dir/ab/cdef… (two-level fan-out).
-func (s *Store) path(h extent.Hash) string {
+// path returns the blob file for a hash: dir/ab/cdef… (two-level fan-out),
+// with a ".z" suffix for flate-compressed blobs.
+func (s *Store) path(h extent.Hash, compressed bool) string {
 	hx := hex.EncodeToString(h[:])
-	return filepath.Join(s.dir, hx[:2], hx[2:])
+	name := hx[2:]
+	if compressed {
+		name += ".z"
+	}
+	return filepath.Join(s.dir, hx[:2], name)
 }
 
 // Put stores the chunk's bytes under h, which the caller guarantees is the
@@ -244,14 +279,25 @@ func (s *Store) Put(h extent.Hash, c *extent.Chunk) (wrote bool, err error) {
 	e.writing = true // pin until the file exists
 	sh.mu.Unlock()
 
-	werr := s.writeBlob(h, c.Data())
+	// Compress outside the shard lock; keep the compressed form only when it
+	// actually shrinks the blob.
+	data := c.Data()
+	compressed := false
+	if s.compress {
+		if z := deflate(data); len(z) < len(data) {
+			data = z
+			compressed = true
+		}
+	}
+	werr := s.writeBlob(s.path(h, compressed), data)
 
 	sh.mu.Lock()
 	e.writing = false
 	if werr == nil {
-		sh.onDisk[h] = size
+		sh.onDisk[h] = diskMeta{size: int64(len(data)), logical: size, compressed: compressed}
 		s.diskBlobs.Add(1)
-		s.diskBytes.Add(size)
+		s.diskBytes.Add(int64(len(data)))
+		s.diskLogical.Add(size)
 		s.spills.Add(1)
 	} else {
 		// The write-through failed: an unbacked resident blob would read
@@ -273,9 +319,31 @@ func (s *Store) Put(h extent.Hash, c *extent.Chunk) (wrote bool, err error) {
 	return true, nil
 }
 
+// deflate returns data flate-compressed at the default level.
+func deflate(data []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return data
+	}
+	if _, err := w.Write(data); err != nil || w.Close() != nil {
+		return data
+	}
+	return buf.Bytes()
+}
+
+// inflate reverses deflate.
+func inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	out, err := io.ReadAll(r)
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
+}
+
 // writeBlob persists data atomically (temp file + rename).
-func (s *Store) writeBlob(h extent.Hash, data []byte) error {
-	dst := s.path(h)
+func (s *Store) writeBlob(dst string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("chunkdisk: %w", err)
 	}
@@ -316,16 +384,23 @@ func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("chunkdisk: blob %x not stored", h[:8])
 	}
-	if _, ok := sh.onDisk[h]; !ok {
+	meta, ok := sh.onDisk[h]
+	if !ok {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("chunkdisk: blob %x not stored", h[:8])
 	}
 	sh.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(h))
+	data, err := os.ReadFile(s.path(h, meta.compressed))
 	if err != nil {
 		return nil, fmt.Errorf("chunkdisk: %w", err)
 	}
+	if meta.compressed {
+		if data, err = inflate(data); err != nil {
+			return nil, fmt.Errorf("chunkdisk: blob %x undecodable on disk: %w", h[:8], err)
+		}
+	}
+	// The hash always covers the uncompressed bytes.
 	if sum := sha256.Sum256(data); extent.Hash(sum) != h {
 		return nil, fmt.Errorf("chunkdisk: blob %x corrupted on disk", h[:8])
 	}
@@ -333,6 +408,15 @@ func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
 	s.pageIns.Add(1)
 
 	sh.mu.Lock()
+	if meta.compressed && meta.logical != int64(len(data)) {
+		// An adopted ".z" blob was accounted at its physical size; the first
+		// page-in learns the real logical length — correct the books.
+		if m, ok := sh.onDisk[h]; ok && m.compressed {
+			s.diskLogical.Add(int64(len(data)) - m.logical)
+			m.logical = int64(len(data))
+			sh.onDisk[h] = m
+		}
+	}
 	if e, ok := sh.resident[h]; ok {
 		// A concurrent Get admitted it first; use the resident copy.
 		sh.lru.MoveToFront(e.elem)
@@ -402,6 +486,44 @@ func (s *Store) Drop(h extent.Hash) {
 	sh.mu.Unlock()
 }
 
+// Has reports whether the blob is stored (resident or on disk), without any
+// side effect — the archive's replay verifies a whole version's blobs exist
+// before Claiming any of them, so a version that turns out unservable never
+// un-deadens blobs it will not reference.
+func (s *Store) Has(h extent.Hash) bool {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.resident[h]; ok {
+		return true
+	}
+	_, ok := sh.onDisk[h]
+	return ok
+}
+
+// Claim re-pins an on-disk blob without reading or rewriting it: if the hash
+// is stored (resident, or adopted from a previous process's directory), any
+// dead mark is cleared and Claim reports true; a missing blob reports false.
+// The archive's catalog replay uses it to turn adopted-as-dead blob files
+// back into referenced content with zero device transfer — a blob the replay
+// does NOT claim stays dead and the next sweep reclaims it.
+func (s *Store) Claim(h extent.Hash) bool {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.resident[h]; ok {
+		return true
+	}
+	if _, ok := sh.onDisk[h]; !ok {
+		return false
+	}
+	if _, wasDead := sh.dead[h]; wasDead {
+		delete(sh.dead, h)
+		s.deadBlobs.Add(-1)
+	}
+	return true
+}
+
 // Sweep unlinks every dead blob file and returns how many it freed — the
 // archive's background GC calls this on a timer.
 func (s *Store) Sweep() int {
@@ -409,26 +531,31 @@ func (s *Store) Sweep() int {
 		return 0
 	}
 	freed := 0
+	type claimed struct {
+		h          extent.Hash
+		compressed bool
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		claim := make([]extent.Hash, 0, len(sh.dead))
+		claim := make([]claimed, 0, len(sh.dead))
 		for h := range sh.dead {
-			claim = append(claim, h)
+			claim = append(claim, claimed{h: h, compressed: sh.onDisk[h].compressed})
 			sh.sweeping[h] = struct{}{}
 			delete(sh.dead, h)
 			s.deadBlobs.Add(-1)
 		}
 		sh.mu.Unlock()
-		for _, h := range claim {
-			err := os.Remove(s.path(h))
+		for _, cl := range claim {
+			err := os.Remove(s.path(cl.h, cl.compressed))
 			sh.mu.Lock()
-			if size, ok := sh.onDisk[h]; ok {
-				delete(sh.onDisk, h)
+			if meta, ok := sh.onDisk[cl.h]; ok {
+				delete(sh.onDisk, cl.h)
 				s.diskBlobs.Add(-1)
-				s.diskBytes.Add(-size)
+				s.diskBytes.Add(-meta.size)
+				s.diskLogical.Add(-meta.logical)
 			}
-			delete(sh.sweeping, h)
+			delete(sh.sweeping, cl.h)
 			sh.mu.Unlock()
 			if err == nil || os.IsNotExist(err) {
 				freed++
@@ -442,15 +569,16 @@ func (s *Store) Sweep() int {
 // Stats returns the current tier counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Spills:        s.spills.Load(),
-		PageIns:       s.pageIns.Load(),
-		Evictions:     s.evictions.Load(),
-		GCFreed:       s.gcFreed.Load(),
-		ResidentBlobs: s.resBlobs.Load(),
-		ResidentBytes: s.resBytes.Load(),
-		DiskBlobs:     s.diskBlobs.Load(),
-		DiskBytes:     s.diskBytes.Load(),
-		DeadBlobs:     s.deadBlobs.Load(),
+		Spills:           s.spills.Load(),
+		PageIns:          s.pageIns.Load(),
+		Evictions:        s.evictions.Load(),
+		GCFreed:          s.gcFreed.Load(),
+		ResidentBlobs:    s.resBlobs.Load(),
+		ResidentBytes:    s.resBytes.Load(),
+		DiskBlobs:        s.diskBlobs.Load(),
+		DiskBytes:        s.diskBytes.Load(),
+		DiskLogicalBytes: s.diskLogical.Load(),
+		DeadBlobs:        s.deadBlobs.Load(),
 	}
 }
 

@@ -222,6 +222,168 @@ func TestAdoptExistingDirAsDead(t *testing.T) {
 	}
 }
 
+// TestClaimRepinsAdoptedBlobs: Claim turns an adopted-as-dead blob back into
+// referenced content with zero I/O; unclaimed blobs still sweep.
+func TestClaimRepinsAdoptedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir, MemoryBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA, hA := blob(40, 2000)
+	dataB, hB := blob(41, 2000)
+	put(t, s1, dataA, hA)
+	put(t, s1, dataB, hB)
+
+	s2, err := Open(Config{Dir: dir, MemoryBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Claim(hA) {
+		t.Fatal("claim of an adopted blob failed")
+	}
+	var missing extent.Hash
+	missing[0] = 0xFF
+	if s2.Claim(missing) {
+		t.Fatal("claim of a never-stored blob succeeded")
+	}
+	if st := s2.Stats(); st.DeadBlobs != 1 {
+		t.Fatalf("dead after claim = %d, want just the unclaimed blob", st.DeadBlobs)
+	}
+	if freed := s2.Sweep(); freed != 1 {
+		t.Fatalf("swept %d, want only the unclaimed blob", freed)
+	}
+	if got := get(t, s2, hA); !bytes.Equal(got, dataA) {
+		t.Fatal("claimed blob unreadable")
+	}
+	if _, err := s2.Get(hB); err == nil {
+		t.Fatal("unclaimed blob survived the sweep")
+	}
+	// Claim is idempotent and also true for resident blobs.
+	if !s2.Claim(hA) {
+		t.Fatal("second claim failed")
+	}
+}
+
+// compressible builds a low-entropy blob (long runs) and its hash.
+func compressible(seed, size int) ([]byte, extent.Hash) {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(seed + i/512)
+	}
+	return data, sha256.Sum256(data)
+}
+
+// TestCompressRoundTripAndStats: compressible blobs are stored flate-encoded
+// (".z", physical < logical), incompressible blobs stay raw, and both page
+// back in byte-identical with the hash check on uncompressed bytes.
+func TestCompressRoundTripAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zdata, zh := compressible(3, 32<<10)
+	put(t, s, zdata, zh)
+	// blob() output (byte(seed*31+i)) cycles every 256 bytes — flate still
+	// shrinks it — so build truly incompressible bytes from a hash chain.
+	raw := make([]byte, 8<<10)
+	sum := sha256.Sum256([]byte("entropy"))
+	for i := 0; i < len(raw); i += len(sum) {
+		copy(raw[i:], sum[:])
+		sum = sha256.Sum256(sum[:])
+	}
+	rh := sha256.Sum256(raw)
+	put(t, s, raw, extent.Hash(rh))
+
+	st := s.Stats()
+	if st.DiskLogicalBytes != int64(len(zdata)+len(raw)) {
+		t.Fatalf("logical bytes = %d, want %d", st.DiskLogicalBytes, len(zdata)+len(raw))
+	}
+	if st.DiskBytes >= st.DiskLogicalBytes {
+		t.Fatalf("no compression win: %d physical vs %d logical", st.DiskBytes, st.DiskLogicalBytes)
+	}
+	hx := fmt.Sprintf("%x", zh[:])
+	if _, err := os.Stat(filepath.Join(dir, hx[:2], hx[2:]+".z")); err != nil {
+		t.Fatalf("compressible blob not stored as .z: %v", err)
+	}
+	rx := fmt.Sprintf("%x", rh[:])
+	if _, err := os.Stat(filepath.Join(dir, rx[:2], rx[2:])); err != nil {
+		t.Fatalf("incompressible blob not stored raw: %v", err)
+	}
+	if got := get(t, s, zh); !bytes.Equal(got, zdata) {
+		t.Fatal("compressed blob diverged after page-in")
+	}
+	if got := get(t, s, extent.Hash(rh)); !bytes.Equal(got, raw) {
+		t.Fatal("raw blob diverged after page-in")
+	}
+
+	// A corrupted .z file must fail the (uncompressed) hash check or the
+	// decoder, never serve bad bytes.
+	if err := os.WriteFile(filepath.Join(dir, hx[:2], hx[2:]+".z"), deflate([]byte("junk")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(zh); err == nil {
+		t.Fatal("corrupted compressed blob served")
+	}
+}
+
+// TestCompressAdoptAndMixedMode: a store without Compress reads ".z" blobs an
+// earlier store left, and vice versa; sweep removes the right file either way.
+func TestCompressAdoptAndMixedMode(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zdata, zh := compressible(9, 16<<10)
+	put(t, s1, zdata, zh)
+
+	// Uncompressed store adopts and serves the .z blob.
+	s2, err := Open(Config{Dir: dir, MemoryBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Claim(zh) {
+		t.Fatal("claim of adopted .z blob failed")
+	}
+	if got := get(t, s2, zh); !bytes.Equal(got, zdata) {
+		t.Fatal("adopted .z blob diverged")
+	}
+	// New blobs from this store are raw; both sweep cleanly.
+	data, h := blob(77, 4096)
+	put(t, s2, data, h)
+	s2.Drop(zh)
+	s2.Drop(h)
+	if freed := s2.Sweep(); freed != 2 {
+		t.Fatalf("swept %d files, want 2 (one .z, one raw)", freed)
+	}
+	if n := diskFiles(t, dir); n != 0 {
+		t.Fatalf("%d blob files left after mixed-mode sweep", n)
+	}
+}
+
+// diskFiles counts files in the two-hex-digit fan-out.
+func diskFiles(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	subs, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() || len(sub.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sub.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(files)
+	}
+	return n
+}
+
 // TestConcurrentChurn hammers put/get/drop/sweep from many goroutines; run
 // under -race this shakes out locking bugs in the LRU and sweep claim logic.
 func TestConcurrentChurn(t *testing.T) {

@@ -51,6 +51,12 @@ type ServerConfig struct {
 	// ArchiveGCInterval runs the archive's background dead-chunk sweeper
 	// this often (0: explicit GCNow only). Only meaningful with ArchiveDir.
 	ArchiveGCInterval time.Duration
+	// ArchiveCheckpointEvery bounds the archive's delta chains: a full
+	// manifest at least every this many versions (<= 0: the archive default).
+	ArchiveCheckpointEvery int
+	// ArchiveCompress flate-compresses spilled archive chunks when that
+	// shrinks them. Only meaningful with ArchiveDir set.
+	ArchiveCompress bool
 	// QuarantineTTL expires quarantined in-flight versions after this age
 	// (0: keep forever); QuarantineGCInterval runs the background sweeper
 	// (0: explicit SweepQuarantine only).
@@ -129,9 +135,11 @@ func NewSystem(cfg Config) (*System, error) {
 func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	phys := fs.NewWithClock(sys.clock)
 	arch, err := archive.NewTiered(sc.ArchiveLatency, sys.clock, archive.TierConfig{
-		Dir:          sc.ArchiveDir,
-		MemoryBudget: sc.ArchiveMemoryBudget,
-		GCInterval:   sc.ArchiveGCInterval,
+		Dir:             sc.ArchiveDir,
+		MemoryBudget:    sc.ArchiveMemoryBudget,
+		GCInterval:      sc.ArchiveGCInterval,
+		CheckpointEvery: sc.ArchiveCheckpointEvery,
+		Compress:        sc.ArchiveCompress,
 	})
 	if err != nil {
 		return nil, err

@@ -221,7 +221,9 @@ func (s *Server) UnlinkFile(hostTxn uint64, path string) error {
 			if err := s.cfg.Phys.Chmod(node, rootCred, fi.origMode); err != nil {
 				return err
 			}
-			s.cfg.Archive.Drop(s.cfg.Name, path)
+			if err := s.cfg.Archive.Drop(s.cfg.Name, path); err != nil {
+				return err
+			}
 			s.purgeTokens(path)
 			return nil
 		},

@@ -223,8 +223,7 @@ func (s *Server) compensateJournal(r journalRow, committed bool, rep *RecoveryRe
 		if err := s.cfg.Phys.Chmod(node, rootCred, intToMode(r.origMode)); err != nil {
 			return err
 		}
-		s.cfg.Archive.Drop(s.cfg.Name, r.path)
-		return nil
+		return s.cfg.Archive.Drop(s.cfg.Name, r.path)
 	case "close":
 		// The repository outcome (version counter, update-entry deletion)
 		// was already resolved with the transaction; the later passes handle

@@ -443,7 +443,9 @@ func (s *Server) RestoreAsOf(stateID uint64) error {
 		if err != nil {
 			return err
 		}
-		s.cfg.Archive.TruncateAfter(s.cfg.Name, t.fi.path, stateID)
+		if err := s.cfg.Archive.TruncateAfter(s.cfg.Name, t.fi.path, stateID); err != nil {
+			return fmt.Errorf("dlfm: truncate archive of %s: %w", t.fi.path, err)
+		}
 		if _, err := s.repo.Exec(`UPDATE dlfm_files SET cur_version = ? WHERE path = ?`,
 			sqlmini.Int(int64(entry.Version)), sqlmini.Str(t.fi.path)); err != nil {
 			return err

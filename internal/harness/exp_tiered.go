@@ -27,6 +27,7 @@ var (
 	TieredEditKB   = 64
 	TieredBudgetMB = 4
 	TieredDir      = "" // "" = private temp dir, removed afterwards
+	TieredCompress = false
 )
 
 // runE15 drives the tiered-archive workload: version churn under a bounded
@@ -57,6 +58,7 @@ func runE15() ([]*Table, error) {
 			OpenWait:            30 * time.Second,
 			ArchiveDir:          dir,
 			ArchiveMemoryBudget: budget,
+			ArchiveCompress:     TieredCompress,
 			QuarantineTTL:       quarantineTTL,
 		}},
 		LockTimeout: 30 * time.Second,
@@ -174,7 +176,8 @@ func runE15() ([]*Table, error) {
 	t.AddRow("linked file size / edit size", fmt.Sprintf("%s / %s", mb(fileSize), mb(editSize)))
 	t.AddRow("churn wall time", Dur(churnWall))
 	t.AddRow("logical archive bytes", mb(dedup.LogicalBytes))
-	t.AddRow("on-disk archive bytes", mb(churn.DiskBytes))
+	t.AddRow("on-disk archive bytes (physical)", mb(churn.DiskBytes))
+	t.AddRow("on-disk archive bytes (logical)", fmt.Sprintf("%s (compress: %v)", mb(churn.DiskLogicalBytes), TieredCompress))
 	t.AddRow("LRU budget", mb(budget))
 	t.AddRow("archive resident bytes", fmt.Sprintf("%s (bounded: %v)", mb(churn.ResidentBytes), churn.ResidentBytes <= budget))
 	t.AddRow("chunks spilled to disk", fmt.Sprintf("%d", churn.Spills))
