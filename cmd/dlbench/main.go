@@ -76,6 +76,12 @@ func main() {
 		e16budg  = flag.Int("e16-budget", 0, "E16: archive LRU memory budget in MiB")
 		e16dir   = flag.String("e16-dir", "", "E16: archive directory; if it already holds an E16 history, the run only cold-serves and verifies it (default: private temp dir)")
 		e16comp  = flag.Bool("e16-compress", false, "E16: flate-compress spilled archive chunks")
+		e16fsync = flag.String("e16-fsync", "", "E16: archive fsync policy (none|group|always)")
+		e17sess  = flag.Int("e17-sessions", 0, "E17: concurrent committing sessions")
+		e17comm  = flag.Int("e17-commits", 0, "E17: commits per session")
+		e17file  = flag.Int("e17-filesize", 0, "E17: linked file size in KiB")
+		e17edit  = flag.Int("e17-editsize", 0, "E17: edit size in bytes")
+		e17dir   = flag.String("e17-dir", "", "E17: archive directory root (default: private temp dirs)")
 	)
 	flag.Parse()
 
@@ -153,6 +159,24 @@ func main() {
 	}
 	if *e16comp {
 		harness.RestartCompress = true
+	}
+	if *e16fsync != "" {
+		harness.RestartFsync = *e16fsync
+	}
+	if *e17sess > 0 {
+		harness.BatchSessions = *e17sess
+	}
+	if *e17comm > 0 {
+		harness.BatchCommits = *e17comm
+	}
+	if *e17file > 0 {
+		harness.BatchFileKB = *e17file
+	}
+	if *e17edit > 0 {
+		harness.BatchEditBytes = *e17edit
+	}
+	if *e17dir != "" {
+		harness.BatchDir = *e17dir
 	}
 
 	if *list {

@@ -86,6 +86,21 @@ type ServerConfig struct {
 	// shrinks them (hashes still verify the uncompressed bytes). Only
 	// meaningful with ArchiveDir set.
 	ArchiveCompress bool
+	// ArchiveFsync selects the archive tier's durability policy: "" or
+	// "none" (rely on the OS flushing — fastest, a power loss can lose the
+	// newest commits' archive copies), "group" (commits are acknowledged
+	// only after an fdatasync, but concurrent committers share flushes —
+	// group commit), or "always" (every append flushes inline). Only
+	// meaningful with ArchiveDir set.
+	ArchiveFsync string
+	// ArchiveFsyncMaxDelay, under "group", lets the group-commit leader wait
+	// this long before flushing so more commits coalesce into one flush.
+	ArchiveFsyncMaxDelay time.Duration
+	// ArchivePackThreshold batches archive blobs at or below this size into
+	// packfiles — many small commits become one sequential append instead of
+	// one file each. 0 uses the default (one 64 KiB chunk, covering tails
+	// and single-chunk deltas); negative disables packing.
+	ArchivePackThreshold int64
 	// QuarantineTTL expires quarantined in-flight versions after this age;
 	// QuarantineGCInterval runs the background quarantine sweeper.
 	QuarantineTTL        time.Duration
@@ -126,6 +141,9 @@ func Open(cfg Config) (*System, error) {
 			ArchiveGCInterval:      s.ArchiveGCInterval,
 			ArchiveCheckpointEvery: s.ArchiveCheckpointEvery,
 			ArchiveCompress:        s.ArchiveCompress,
+			ArchiveFsync:           s.ArchiveFsync,
+			ArchiveFsyncMaxDelay:   s.ArchiveFsyncMaxDelay,
+			ArchivePackThreshold:   s.ArchivePackThreshold,
 			QuarantineTTL:          s.QuarantineTTL,
 			QuarantineGCInterval:   s.QuarantineGCInterval,
 		}

@@ -55,6 +55,8 @@ import (
 	"datalinks/internal/catalog"
 	"datalinks/internal/chunkdisk"
 	"datalinks/internal/extent"
+	"datalinks/internal/fsyncer"
+	"datalinks/internal/metrics"
 )
 
 // Version numbers a file's archived states, starting at 0 for the content
@@ -223,6 +225,28 @@ type TierConfig struct {
 	// CatalogCompactBytes checkpoints the catalog log once it outgrows this
 	// size (<= 0: the catalog default).
 	CatalogCompactBytes int64
+	// Fsync selects the durability policy shared by packfile/blob writes and
+	// catalog log appends: none (default — rely on the OS page cache), group
+	// (concurrent committers coalesce behind shared fdatasyncs at the commit
+	// barrier), or always (every append flushes inline). See internal/fsyncer.
+	Fsync fsyncer.Policy
+	// FsyncMaxDelay, under the group policy, lets a group-commit leader wait
+	// this long before flushing so more committers join its round.
+	FsyncMaxDelay time.Duration
+	// PackThreshold batches blobs at or below this size into packfiles
+	// (0: the chunkdisk default of one extent chunk — every tail and
+	// single-chunk delta; negative: packing disabled, every blob loose).
+	PackThreshold int64
+	// PackTargetBytes seals the active packfile once it grows past this
+	// (<= 0: the chunkdisk default).
+	PackTargetBytes int64
+	// PackGarbageRatio compacts a sealed packfile once this fraction of its
+	// payload is dead (<= 0 or >= 1: the chunkdisk default).
+	PackGarbageRatio float64
+	// Metrics, if set, mirrors the tier's fsync/pack counters
+	// (chunkdisk.fsyncs, chunkdisk.pack.appends, chunkdisk.pack.dead_bytes,
+	// catalog.fsyncs) into a registry.
+	Metrics *metrics.Registry
 }
 
 // RecoveryStats reports what NewTiered replayed from an existing archive
@@ -285,7 +309,17 @@ func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (
 	if clock == nil {
 		clock = time.Now
 	}
-	disk, err := chunkdisk.Open(chunkdisk.Config{Dir: tier.Dir, MemoryBudget: tier.MemoryBudget, Compress: tier.Compress})
+	disk, err := chunkdisk.Open(chunkdisk.Config{
+		Dir:              tier.Dir,
+		MemoryBudget:     tier.MemoryBudget,
+		Compress:         tier.Compress,
+		PackThreshold:    tier.PackThreshold,
+		PackTargetBytes:  tier.PackTargetBytes,
+		PackGarbageRatio: tier.PackGarbageRatio,
+		Fsync:            tier.Fsync,
+		FsyncMaxDelay:    tier.FsyncMaxDelay,
+		Metrics:          tier.Metrics,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
@@ -299,8 +333,14 @@ func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (
 		s.dedup[i].blobs = make(map[extent.Hash]*dedupEntry)
 	}
 	if tier.Dir != "" {
-		cat, err := catalog.Open(tier.Dir, tier.CatalogCompactBytes)
+		cat, err := catalog.Open(tier.Dir, catalog.Config{
+			CompactBytes:  tier.CatalogCompactBytes,
+			Fsync:         tier.Fsync,
+			FsyncMaxDelay: tier.FsyncMaxDelay,
+			Metrics:       tier.Metrics,
+		})
 		if err != nil {
+			disk.Close()
 			return nil, fmt.Errorf("archive: %w", err)
 		}
 		repaired := s.replay(cat)
@@ -312,6 +352,7 @@ func NewTiered(latency time.Duration, clock func() time.Time, tier TierConfig) (
 		if cat.LogSize() > 0 || s.recov.TornBytes > 0 || repaired {
 			if err := cat.Compact(); err != nil {
 				cat.Close()
+				disk.Close()
 				return nil, fmt.Errorf("archive: %w", err)
 			}
 		}
@@ -477,9 +518,10 @@ func (s *Store) gcLoop(interval time.Duration) {
 func (s *Store) GCNow() int { return s.disk.Sweep() }
 
 // Close stops the background GC (if any), sweeps dead disk chunks one final
-// time, and closes the durable catalog. A memory-only store remains usable
-// afterwards; a tiered store rejects further Puts (its catalog is closed) but
-// keeps serving reads. Idempotent.
+// time, closes the durable catalog and the disk tier (sealing the active
+// packfile and releasing the archive-dir lock). A memory-only store remains
+// usable afterwards; a tiered store rejects further Puts (its catalog is
+// closed) but keeps serving memory-resident reads. Idempotent.
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
 		if s.gcStop != nil {
@@ -490,7 +532,36 @@ func (s *Store) Close() {
 		if s.cat != nil {
 			s.cat.Close()
 		}
+		s.disk.Close()
 	})
+}
+
+// Crash simulates the archive process dying for tests: no final sweep, no
+// pack seal fsync — the directory is left exactly as the OS had it, and the
+// single-owner lock is released so a successor store can open it (a real
+// crash releases it too, via the lockfile's dead-pid check).
+func (s *Store) Crash() {
+	s.closeOnce.Do(func() {
+		if s.gcStop != nil {
+			close(s.gcStop)
+			<-s.gcDone
+		}
+		if s.cat != nil {
+			s.cat.Close()
+		}
+		s.disk.Crash()
+	})
+}
+
+// Fsyncs reports the physical fdatasync calls the durable tier has issued:
+// chunk/pack flushes (chunkdisk) and manifest-log flushes (catalog). Both
+// are zero under FsyncPolicy none.
+func (s *Store) Fsyncs() (chunk, cat int64) {
+	chunk = s.disk.Stats().Fsyncs
+	if s.cat != nil {
+		cat = s.cat.Fsyncs()
+	}
+	return chunk, cat
 }
 
 func key(server, path string) string { return server + "\x00" + path }
@@ -762,6 +833,21 @@ func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap
 		// growing and a later append retries.
 		_ = s.cat.CompactIfDue()
 	}
+	// Commit durability barrier (group policy; no-op under none/always):
+	// one coalesced fdatasync covers this commit's pack appends, then one
+	// covers its catalog append — shared with every concurrent committer.
+	// Blobs flush before the manifest so a crash between the two leaves a
+	// manifest whose blobs exist (the reverse would reference lost bytes,
+	// which replay would then have to drop). The version is already indexed;
+	// a barrier failure reports that its durability is not established.
+	if err := s.disk.Sync(); err != nil {
+		return st, err
+	}
+	if s.cat != nil {
+		if err := s.cat.Sync(); err != nil {
+			return st, fmt.Errorf("archive: catalog: %w", err)
+		}
+	}
 
 	s.puts.Add(1)
 	s.logicalBytes.Add(size)
@@ -953,6 +1039,10 @@ func (s *Store) TruncateAfter(server, path string, stateID uint64) error {
 	sh.mu.Unlock()
 	if s.cat != nil {
 		_ = s.cat.CompactIfDue()
+		// The tombstone follows the same commit barrier as puts (best-effort:
+		// the in-memory truncate already happened; a failed flush only widens
+		// the window in which a crash resurrects the dropped suffix).
+		_ = s.cat.Sync()
 	}
 	for _, d := range drops {
 		s.releaseRec(d.hashes, d.rec)
@@ -1021,6 +1111,7 @@ func (s *Store) Drop(server, path string) error {
 	sh.mu.Unlock()
 	if s.cat != nil {
 		_ = s.cat.CompactIfDue()
+		_ = s.cat.Sync() // tombstone barrier, best-effort like TruncateAfter's
 	}
 	for _, d := range drops {
 		s.releaseRec(d.hashes, d.rec)

@@ -8,10 +8,12 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
 	"datalinks/internal/extent"
+	"datalinks/internal/fsyncer"
 )
 
 // reopen closes a tiered store and opens a fresh one over the same directory
@@ -181,9 +183,10 @@ func TestRestartRespectsTruncateAndDrop(t *testing.T) {
 	// Crash-style restart: no clean Close, so the dead-blob sweep never ran
 	// and the dropped versions' chunk files are still on disk. The catalog
 	// tombstones are what keeps them from resurrecting; adoption marks them
-	// dead again and GC reclaims them.
+	// dead again and GC reclaims them. (Crash releases the single-owner dir
+	// lock the way a real process death does, without the Close-time sweep.)
 	dir := s.TierDir()
-	t.Cleanup(s.Close) // release the abandoned handle at test end
+	s.Crash()
 	s2, err := NewTiered(0, nil, TierConfig{Dir: dir, MemoryBudget: 2 * C})
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +228,8 @@ func TestRestartRespectsTruncateAndDrop(t *testing.T) {
 func TestRestartDropsVersionsWithMissingBlobs(t *testing.T) {
 	const C = extent.ChunkSize
 	dir := t.TempDir()
-	s, err := NewTiered(0, nil, TierConfig{Dir: dir, MemoryBudget: 2 * C})
+	// Loose layout (packs off): the test deletes a chunk FILE by its hash path.
+	s, err := NewTiered(0, nil, TierConfig{Dir: dir, MemoryBudget: 2 * C, PackThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +247,7 @@ func TestRestartDropsVersionsWithMissingBlobs(t *testing.T) {
 		t.Fatalf("removing the unique chunk file: %v", err)
 	}
 
-	s2, err := NewTiered(0, nil, TierConfig{Dir: dir, MemoryBudget: 2 * C})
+	s2, err := NewTiered(0, nil, TierConfig{Dir: dir, MemoryBudget: 2 * C, PackThreshold: -1})
 	if err != nil {
 		t.Fatalf("open with a missing blob must not fail: %v", err)
 	}
@@ -259,7 +263,7 @@ func TestRestartDropsVersionsWithMissingBlobs(t *testing.T) {
 		t.Fatal("version with a missing blob still served")
 	}
 	// The drop is persisted: a further restart agrees without re-validating.
-	s3 := reopen(t, s2, TierConfig{MemoryBudget: 2 * C})
+	s3 := reopen(t, s2, TierConfig{MemoryBudget: 2 * C, PackThreshold: -1})
 	if got := len(s3.Versions("fs1", "/f.bin")); got != 1 {
 		t.Fatalf("second restart sees %d versions, want 1", got)
 	}
@@ -356,4 +360,100 @@ func TestRestartWithCompression(t *testing.T) {
 	if d := s2.Dedup(); d.NewBytes != 0 {
 		t.Fatalf("compressed reopen re-archived %d bytes", d.NewBytes)
 	}
+}
+
+// TestRestartServesPackfileBackedHistory: the E16 recipe against a
+// packfile-backed dir, including a deliberately TORN pack tail. All blobs sit
+// in packfiles (small threshold target forces several packs); the process
+// "crashes" (no clean close), garbage is appended to the newest pack as a
+// torn half-record, and the reopened store must serve every version
+// byte-identically with zero re-archiving — the torn suffix quarantined.
+func TestRestartServesPackfileBackedHistory(t *testing.T) {
+	const C = extent.ChunkSize
+	dir := t.TempDir()
+	tier := TierConfig{MemoryBudget: 2 * C, PackTargetBytes: 4 * C, Fsync: fsyncer.PolicyGroup}
+	cfg := tier
+	cfg.Dir = dir
+	s, err := NewTiered(0, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	content := make([]byte, 2*C+333)
+	rng.Read(content)
+	var want [][]byte
+	for v := 0; v < 8; v++ {
+		rng.Read(content[C : C+700]) // single-chunk edits: pack-resident deltas
+		want = append(want, putBytes(t, s, "/p.bin", Version(v), uint64(v+1), content))
+	}
+	if st := s.Tier(); st.PackAppends == 0 || st.PackFiles < 2 {
+		t.Fatalf("workload not packfile-backed: %+v", st)
+	}
+	if ch, ca := s.Fsyncs(); ch == 0 || ca == 0 {
+		t.Fatalf("group policy issued no fsyncs (chunk=%d catalog=%d)", ch, ca)
+	}
+	s.Crash()
+
+	// Tear the newest pack: a crash mid-append leaves a half-written record.
+	packs, err := filepath.Glob(filepath.Join(dir, "pack-*.pk"))
+	if err != nil || len(packs) == 0 {
+		t.Fatalf("no packfiles on disk: %v %v", packs, err)
+	}
+	sort.Strings(packs)
+	newest := packs[len(packs)-1]
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte("\x40\x00\x00\x00half-written pack record interrupted by power loss")
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewTiered(0, nil, cfg)
+	if err != nil {
+		t.Fatalf("reopen over torn pack: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Tier().PackTornBytes; got != int64(len(torn)) {
+		t.Fatalf("torn pack bytes = %d, want %d", got, len(torn))
+	}
+	if _, err := os.Stat(newest + ".torn"); err != nil {
+		t.Fatalf("torn pack tail not quarantined: %v", err)
+	}
+	if rec := s2.Recovery(); rec.Versions != len(want) || rec.DroppedVersions != 0 {
+		t.Fatalf("recovery = %+v, want %d versions, none dropped", rec, len(want))
+	}
+	for v := range want {
+		e, err := s2.Get("fs1", "/p.bin", Version(v))
+		if err != nil || !bytes.Equal(e.Content(), want[v]) {
+			t.Fatalf("v%d diverged across the torn-pack restart (%v)", v, err)
+		}
+	}
+	if d := s2.Dedup(); d.NewBytes != 0 {
+		t.Fatalf("torn-pack reopen re-archived %d bytes", d.NewBytes)
+	}
+	if st := s2.Tier(); st.Spills != 0 {
+		t.Fatalf("torn-pack reopen spilled %d blobs", st.Spills)
+	}
+}
+
+// TestArchiveDirSingleOwner: a second NewTiered over a live archive dir fails
+// fast (the ROADMAP lockfile item) and Close releases the lock.
+func TestArchiveDirSingleOwner(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewTiered(0, nil, TierConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTiered(0, nil, TierConfig{Dir: dir}); err == nil {
+		t.Fatal("second NewTiered over a live archive dir succeeded")
+	}
+	s.Close()
+	s2, err := NewTiered(0, nil, TierConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("open after Close: %v", err)
+	}
+	s2.Close()
 }

@@ -23,12 +23,15 @@
 // and "truncate log" is harmless: replay skips log records whose sequence the
 // snapshot already includes (and record application is idempotent besides).
 //
-// Torn tails are expected, not fatal: appends are not synced record-by-record
-// (matching the blob store, which also relies on the OS to flush), so a crash
-// can leave a half-written final record. Open recovers the longest valid
-// prefix, quarantines the invalid suffix to catalog.torn, and truncates the
-// log so new appends never interleave with garbage. Only the records at risk
-// are the ones after the last flush — earlier versions are never lost.
+// Torn tails are expected, not fatal: under the default fsync policy appends
+// are not synced record-by-record (matching the blob store, which also
+// relies on the OS to flush), so a crash can leave a half-written final
+// record. Open recovers the longest valid prefix, quarantines the invalid
+// suffix to catalog.torn, and truncates the log so new appends never
+// interleave with garbage. Only the records at risk are the ones after the
+// last flush — earlier versions are never lost. Config.Fsync tightens the
+// window: "always" flushes every append inline, "group" coalesces concurrent
+// committers behind shared flushes at the Sync barrier (internal/fsyncer).
 //
 // The catalog keeps an in-memory shadow of the replayed state (delta-form
 // records, so shadow memory is O(changed chunks) per version, the same bound
@@ -49,8 +52,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"datalinks/internal/extent"
+	"datalinks/internal/fsyncer"
+	"datalinks/internal/metrics"
 )
 
 // File names within the store directory.
@@ -117,10 +123,26 @@ type history struct {
 	puts []*PutRec
 }
 
+// Config configures a catalog.
+type Config struct {
+	// CompactBytes checkpoints the log once it outgrows this size (<= 0:
+	// DefaultCompactBytes).
+	CompactBytes int64
+	// Fsync selects the append durability policy (none | group | always).
+	Fsync fsyncer.Policy
+	// FsyncMaxDelay, under the group policy, is the leader's coalescing
+	// window before flushing.
+	FsyncMaxDelay time.Duration
+	// Metrics, if set, mirrors catalog.fsyncs into a registry.
+	Metrics *metrics.Registry
+}
+
 // Catalog is the durable version-metadata store. Safe for concurrent use.
 type Catalog struct {
 	dir       string
 	compactAt int64
+
+	sync *fsyncer.Syncer
 
 	mu         sync.Mutex
 	log        *os.File
@@ -136,9 +158,9 @@ type Catalog struct {
 var ErrClosed = errors.New("catalog: closed")
 
 // Open replays the catalog in dir (snapshot, then log), quarantining any torn
-// log tail, and returns it ready for appends. compactAt <= 0 uses
-// DefaultCompactBytes.
-func Open(dir string, compactAt int64) (*Catalog, error) {
+// log tail, and returns it ready for appends.
+func Open(dir string, cfg Config) (*Catalog, error) {
+	compactAt := cfg.CompactBytes
 	if compactAt <= 0 {
 		compactAt = DefaultCompactBytes
 	}
@@ -167,11 +189,31 @@ func Open(dir string, compactAt int64) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	c.log = f
+	// The log handle is stable for the catalog's lifetime (compaction
+	// truncates it in place), so the flush callback can hold it directly.
+	var onSync func()
+	if cfg.Metrics != nil {
+		ctr := cfg.Metrics.Counter("catalog.fsyncs")
+		onSync = ctr.Inc
+	}
+	c.sync = fsyncer.New(cfg.Fsync, cfg.FsyncMaxDelay, f.Sync, onSync)
 	for _, h := range c.files {
 		c.stats.Versions += len(h.puts)
 	}
 	c.stats.Keys = len(c.files)
 	return c, nil
+}
+
+// Sync is the commit durability barrier: under the group policy it returns
+// after a (possibly shared) fdatasync covering every append that completed
+// before the call. Call it OUTSIDE locks that appenders need.
+func (c *Catalog) Sync() error {
+	return c.sync.Barrier()
+}
+
+// Fsyncs reports the physical flushes issued so far.
+func (c *Catalog) Fsyncs() int64 {
+	return c.sync.Count()
 }
 
 func (c *Catalog) path(name string) string { return filepath.Join(c.dir, name) }
@@ -479,7 +521,8 @@ func (c *Catalog) trimLocked(key string, keep int) {
 
 // appendLocked frames and writes one payload to the log. A partial write is
 // rewound (truncate + re-seek) so the next append never lands after garbage;
-// if even the rewind fails, replay's torn-tail quarantine covers it.
+// if even the rewind fails, replay's torn-tail quarantine covers it. Under
+// the always policy the record is flushed before the append returns.
 func (c *Catalog) appendLocked(payload []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -491,6 +534,9 @@ func (c *Catalog) appendLocked(payload []byte) error {
 		return fmt.Errorf("catalog: %w", err)
 	}
 	c.logBytes += int64(len(buf))
+	if err := c.sync.AfterWrite(); err != nil {
+		return fmt.Errorf("catalog: fsync: %w", err)
+	}
 	return nil
 }
 
@@ -559,12 +605,19 @@ func (c *Catalog) compactLocked() error {
 		}
 	}
 	tmp := c.path(snapTmpName)
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("catalog: %w", err)
+	if err := c.writeSnapFile(tmp, buf); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, c.path(snapName)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("catalog: %w", err)
+	}
+	if c.sync.Policy() != fsyncer.PolicyNone {
+		// Persist the rename itself before truncating the log it replaces —
+		// POSIX does not make a rename durable without a directory fsync.
+		if err := syncDir(c.dir); err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
 	}
 	// The snapshot covers every sequence up to c.seq; the log restarts empty.
 	if err := c.log.Truncate(0); err != nil {
@@ -575,6 +628,44 @@ func (c *Catalog) compactLocked() error {
 	}
 	c.logBytes = 0
 	return nil
+}
+
+// writeSnapFile persists the snapshot bytes, fdatasyncing them first under
+// policies that sync — the snapshot is about to replace the log's contents,
+// so it must not be more volatile than what it replaces.
+func (c *Catalog) writeSnapFile(tmp string, buf []byte) error {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if c.sync.Policy() != fsyncer.PolicyNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("catalog: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it survives a power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	d.Close()
+	return serr
 }
 
 // Close flushes nothing (appends are unbuffered) and closes the log handle.

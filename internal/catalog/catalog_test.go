@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"datalinks/internal/extent"
+	"datalinks/internal/fsyncer"
 )
 
 func hashOf(b byte) extent.Hash {
@@ -41,7 +42,7 @@ func putRec(key string, v int64, full bool) *PutRec {
 
 func mustOpen(t *testing.T, dir string) *Catalog {
 	t.Helper()
-	c, err := Open(dir, 0)
+	c, err := Open(dir, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestTornTailRecoveredAtEveryByteBoundary(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, logName), logBytes[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		cc, err := Open(dir, 0)
+		cc, err := Open(dir, Config{})
 		if err != nil {
 			t.Fatalf("cut %d: open: %v", cut, err)
 		}
@@ -211,7 +212,7 @@ func TestTornTailRecoveredAtEveryByteBoundary(t *testing.T) {
 			t.Fatalf("cut %d: append after recovery: %v", cut, err)
 		}
 		cc.Close()
-		cc2, err := Open(dir, 0)
+		cc2, err := Open(dir, Config{})
 		if err != nil {
 			t.Fatalf("cut %d: second open: %v", cut, err)
 		}
@@ -266,7 +267,7 @@ func TestCrashBetweenSnapshotRenameAndLogTruncate(t *testing.T) {
 // and nothing is lost across the checkpoint.
 func TestAutoCompaction(t *testing.T) {
 	dir := t.TempDir()
-	c, err := Open(dir, 256) // tiny threshold: compact every few records
+	c, err := Open(dir, Config{CompactBytes: 256}) // tiny threshold: compact every few records
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,5 +354,50 @@ func TestLargeManifestRoundtrip(t *testing.T) {
 		if hh != hashOf(byte(i%251)) {
 			t.Fatalf("hash %d corrupted", i)
 		}
+	}
+}
+
+// TestFsyncPolicies: always flushes per append; group flushes only at the
+// Sync barrier; none never flushes. The durable contents are identical.
+func TestFsyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy     fsyncer.Policy
+		wantAppend int64 // flushes after 3 appends
+		wantSync   int64 // flushes after 3 appends + one Sync
+	}{
+		{fsyncer.PolicyNone, 0, 0},
+		{fsyncer.PolicyAlways, 3, 3},
+		{fsyncer.PolicyGroup, 0, 1},
+	} {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(dir, Config{Fsync: tc.policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < 3; v++ {
+				if err := c.AppendPut(&PutRec{Key: "fs1\x00/f", Version: int64(v), IsFull: true}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := c.Fsyncs(); got != tc.wantAppend {
+				t.Fatalf("after appends: %d fsyncs, want %d", got, tc.wantAppend)
+			}
+			if err := c.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Fsyncs(); got != tc.wantSync {
+				t.Fatalf("after barrier: %d fsyncs, want %d", got, tc.wantSync)
+			}
+			c.Close()
+			c2, err := Open(dir, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			if got := len(c2.History("fs1\x00/f")); got != 3 {
+				t.Fatalf("replayed %d versions, want 3", got)
+			}
+		})
 	}
 }

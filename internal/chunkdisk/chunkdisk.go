@@ -18,6 +18,13 @@
 // With Dir == "" the store runs memory-only: no spill, no eviction, and Drop
 // frees immediately — the semantics the archive had before the disk tier.
 //
+// Small blobs — at or below Config.PackThreshold — are batched into
+// append-only packfiles instead of costing one file each (see pack.go);
+// large blobs keep the loose one-file-per-hash layout. Config.Fsync selects
+// the durability policy for all of it (none | group | always, see
+// internal/fsyncer), and a single-owner lockfile (archive.lock) keeps two
+// processes from corrupting one directory.
+//
 // Blobs are usually extent chunks (exactly extent.ChunkSize bytes) but the
 // store is length-agnostic: the archive also stores version tails (the
 // sub-chunk final segment of a file) through the same interface.
@@ -33,12 +40,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"datalinks/internal/extent"
+	"datalinks/internal/fsyncer"
+	"datalinks/internal/metrics"
 )
 
 // shardCount must be a power of two. The LRU budget is split evenly across
@@ -65,6 +76,28 @@ type Config struct {
 	// A store opened without Compress still reads ".z" blobs left by an
 	// earlier compressed store, and vice versa.
 	Compress bool
+	// PackThreshold batches blobs whose (uncompressed) size is at or below
+	// this into packfiles: 0 uses DefaultPackThreshold (one extent chunk,
+	// so tails and single-chunk deltas batch), negative disables packing
+	// entirely (every blob loose — the pre-packfile layout). Ignored in
+	// memory-only mode.
+	PackThreshold int64
+	// PackTargetBytes seals the active packfile once it grows past this
+	// (<= 0: DefaultPackTargetBytes).
+	PackTargetBytes int64
+	// PackGarbageRatio compacts a sealed packfile once this fraction of its
+	// payload is dead (<= 0 or >= 1: DefaultPackGarbageRatio).
+	PackGarbageRatio float64
+	// Fsync selects the durability policy for blob and pack writes; see
+	// internal/fsyncer. The default (PolicyNone) matches the historical
+	// rely-on-the-OS behaviour.
+	Fsync fsyncer.Policy
+	// FsyncMaxDelay, under PolicyGroup, lets a group-commit leader wait this
+	// long before flushing so more committers coalesce into its round.
+	FsyncMaxDelay time.Duration
+	// Metrics, if set, mirrors the tier counters (chunkdisk.fsyncs,
+	// chunkdisk.pack.appends, chunkdisk.pack.dead_bytes) into a registry.
+	Metrics *metrics.Registry
 }
 
 // Stats is a point-in-time view of the tier counters.
@@ -83,6 +116,15 @@ type Stats struct {
 	// its first page-in learns (and corrects to) the real logical length.
 	DiskLogicalBytes int64
 	DeadBlobs        int64 // disk blobs awaiting sweep
+
+	// Packfile / durability counters.
+	Fsyncs          int64 // physical fdatasync calls issued by this store
+	PackAppends     int64 // records appended to packfiles
+	PackFiles       int64 // packfiles currently on disk
+	PackDeadBytes   int64 // dead payload bytes awaiting compaction
+	PackCompactions int64 // packfiles evacuated and unlinked
+	PackTornBytes   int64 // invalid pack suffix quarantined at open
+	FilesCreated    int64 // files this store created (loose blobs + packs)
 }
 
 // entry is one resident blob.
@@ -97,11 +139,14 @@ type entry struct {
 	writing bool
 }
 
-// diskMeta describes one on-disk blob file.
+// diskMeta describes one on-disk blob: a loose file (pack == 0) or a record
+// inside packfile pack at byte offset off.
 type diskMeta struct {
-	size       int64 // physical file length
+	size       int64 // physical payload length
 	logical    int64 // uncompressed length (== size for raw blobs)
-	compressed bool  // stored with the ".z" suffix, flate-encoded
+	compressed bool  // flate-encoded (".z" suffix for loose blobs)
+	pack       int64 // packfile sequence, 0 = loose file
+	off        int64 // payload offset within the pack
 }
 
 // shard is one stripe of the store.
@@ -117,33 +162,100 @@ type shard struct {
 
 // Store is a tiered blob store. Safe for concurrent use.
 type Store struct {
-	dir      string // "" = memory-only
-	budget   int64  // per shard
-	compress bool
-	shards   [shardCount]shard
+	dir           string // "" = memory-only
+	budget        int64  // per shard
+	compress      bool
+	packThreshold int64 // pack blobs at or below this; < 0 = packs disabled
+	shards        [shardCount]shard
 
-	spills      atomic.Int64
-	pageIns     atomic.Int64
-	evictions   atomic.Int64
-	gcFreed     atomic.Int64
-	resBlobs    atomic.Int64
-	resBytes    atomic.Int64
-	diskBlobs   atomic.Int64
-	diskBytes   atomic.Int64
-	diskLogical atomic.Int64
-	deadBlobs   atomic.Int64
+	packs    *packSet        // nil when packing is disabled or memory-only
+	sync     *fsyncer.Syncer // durability policy (never nil)
+	lockPath string          // archive.lock we own ("" when not held)
+
+	// Optional metrics mirrors (nil without a registry).
+	mFsyncs      *metrics.Counter
+	mPackAppends *metrics.Counter
+	mPackDead    *metrics.Counter
+
+	spills          atomic.Int64
+	pageIns         atomic.Int64
+	evictions       atomic.Int64
+	gcFreed         atomic.Int64
+	resBlobs        atomic.Int64
+	resBytes        atomic.Int64
+	diskBlobs       atomic.Int64
+	diskBytes       atomic.Int64
+	diskLogical     atomic.Int64
+	deadBlobs       atomic.Int64
+	fsyncs          atomic.Int64
+	packAppends     atomic.Int64
+	packFiles       atomic.Int64
+	packDeadBytes   atomic.Int64
+	packCompactions atomic.Int64
+	packTornBytes   atomic.Int64
+	filesCreated    atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ctrInc / ctrAdd bump an optional registry mirror.
+func (s *Store) ctrInc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (s *Store) ctrAdd(c *metrics.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// countFsync records one physical fdatasync.
+func (s *Store) countFsync() {
+	s.fsyncs.Add(1)
+	s.ctrInc(s.mFsyncs)
+}
+
+// syncDir fsyncs a directory: POSIX does not persist freshly created or
+// renamed entries across a power loss without it, so under policies that
+// sync, every new file's parent gets one.
+func (s *Store) syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	d.Close()
+	if serr == nil {
+		s.countFsync()
+	}
+	return serr
 }
 
 // Open returns a store over cfg.Dir, creating the directory if needed. Blob
 // files already present (a previous process's store) are adopted as dead:
 // nothing references them yet, so the first sweep reclaims whatever the new
-// archive does not re-intern first.
+// archive does not re-intern first. Open takes single ownership of the
+// directory via an archive.lock file (O_EXCL + pid): a second live store
+// over the same directory fails fast instead of corrupting the first, and a
+// lock left by a dead process is stolen.
 func Open(cfg Config) (*Store, error) {
 	budget := cfg.MemoryBudget
 	if budget <= 0 {
 		budget = DefaultMemoryBudget
 	}
 	s := &Store{dir: cfg.Dir, budget: budget / shardCount, compress: cfg.Compress}
+	s.packThreshold = cfg.PackThreshold
+	if s.packThreshold == 0 {
+		s.packThreshold = DefaultPackThreshold
+	}
+	if cfg.Metrics != nil {
+		s.mFsyncs = cfg.Metrics.Counter("chunkdisk.fsyncs")
+		s.mPackAppends = cfg.Metrics.Counter("chunkdisk.pack.appends")
+		s.mPackDead = cfg.Metrics.Counter("chunkdisk.pack.dead_bytes")
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.resident = make(map[extent.Hash]*entry)
@@ -153,15 +265,102 @@ func Open(cfg Config) (*Store, error) {
 		sh.sweeping = make(map[extent.Hash]struct{})
 	}
 	if cfg.Dir == "" {
+		s.sync = fsyncer.New(fsyncer.PolicyNone, 0, func() error { return nil }, nil)
 		return s, nil
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("chunkdisk: %w", err)
 	}
-	if err := s.adoptExisting(); err != nil {
+	if err := s.acquireLock(); err != nil {
 		return nil, err
 	}
+	if s.packThreshold > 0 {
+		s.packs = newPackSet(s, cfg.Dir, cfg.PackTargetBytes, cfg.PackGarbageRatio)
+	}
+	// The flush callback does its own fsync counting (a barrier with no
+	// active pack syncs nothing and must not count) — no onSync hook.
+	s.sync = fsyncer.New(cfg.Fsync, cfg.FsyncMaxDelay, s.flushForGroup, nil)
+	if err := s.adoptExisting(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	if s.packs != nil {
+		if err := s.adoptPacks(); err != nil {
+			s.releaseLock()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// flushForGroup is the group-commit flush callback: one fdatasync of the
+// active packfile covers every pack append that completed before the round
+// began. (Loose blobs sync individually at write time under group/always —
+// each lives in its own file, so there is nothing to coalesce. The counting
+// happens via the syncer's onSync hook.)
+func (s *Store) flushForGroup() error {
+	if s.packs == nil {
+		return nil
+	}
+	return s.packs.flushActive()
+}
+
+// lockName is the single-owner lockfile kept in the store directory.
+const lockName = "archive.lock"
+
+// acquireLock takes single ownership of the directory, stealing a lock whose
+// owner process is gone. The steal moves the stale lock aside with a rename —
+// an atomic arbiter, so of N concurrent stealers exactly one rename succeeds
+// and at most one O_EXCL create wins; remove-then-create would let a loser
+// delete the winner's fresh lock.
+func (s *Store) acquireLock() error {
+	path := filepath.Join(s.dir, lockName)
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return fmt.Errorf("chunkdisk: writing %s: %w", lockName, werr)
+			}
+			s.lockPath = path
+			return nil
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("chunkdisk: %w", err)
+		}
+		raw, rerr := os.ReadFile(path)
+		pid, _ := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if rerr == nil && attempt == 0 && pid > 0 && pid != os.Getpid() && !pidAlive(pid) {
+			// The owner died without releasing. Rename the stale lock aside
+			// and retry the exclusive create; whether the rename succeeded
+			// (we won the steal) or failed (another stealer beat us to it),
+			// the retry's O_EXCL decides ownership — a second EEXIST there
+			// fails fast below.
+			if os.Rename(path, path+".stale") == nil {
+				os.Remove(path + ".stale")
+			}
+			continue
+		}
+		return fmt.Errorf("chunkdisk: %s is locked by pid %d (%s); a chunk directory has a single owner process", s.dir, pid, path)
+	}
+}
+
+// releaseLock removes the lockfile if this store holds it.
+func (s *Store) releaseLock() {
+	if s.lockPath != "" {
+		os.Remove(s.lockPath)
+		s.lockPath = ""
+	}
+}
+
+// pidAlive reports whether a process with the given pid exists.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
 }
 
 // adoptExisting indexes blob files left by a previous store over the same
@@ -289,12 +488,20 @@ func (s *Store) Put(h extent.Hash, c *extent.Chunk) (wrote bool, err error) {
 			compressed = true
 		}
 	}
-	werr := s.writeBlob(s.path(h, compressed), data)
+	// Small blobs append to the shared packfile (one sequential write);
+	// large blobs keep the loose one-file-per-hash layout.
+	var werr error
+	meta := diskMeta{size: int64(len(data)), logical: size, compressed: compressed}
+	if s.packs != nil && size <= s.packThreshold {
+		meta.pack, meta.off, werr = s.packs.append(h, data, size, compressed)
+	} else {
+		werr = s.writeBlob(s.path(h, compressed), data)
+	}
 
 	sh.mu.Lock()
 	e.writing = false
 	if werr == nil {
-		sh.onDisk[h] = diskMeta{size: int64(len(data)), logical: size, compressed: compressed}
+		sh.onDisk[h] = meta
 		s.diskBlobs.Add(1)
 		s.diskBytes.Add(int64(len(data)))
 		s.diskLogical.Add(size)
@@ -342,7 +549,10 @@ func inflate(data []byte) ([]byte, error) {
 	return out, err
 }
 
-// writeBlob persists data atomically (temp file + rename).
+// writeBlob persists data atomically (temp file + rename). Under policies
+// that sync, the data is fdatasynced before the rename — a loose blob lives
+// in its own file, so group commit has nothing to coalesce and both group
+// and always flush inline here.
 func (s *Store) writeBlob(dst string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("chunkdisk: %w", err)
@@ -356,6 +566,14 @@ func (s *Store) writeBlob(dst string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("chunkdisk: %w", err)
 	}
+	if s.sync.Policy() != fsyncer.PolicyNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("chunkdisk: %w", err)
+		}
+		s.countFsync()
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("chunkdisk: %w", err)
@@ -364,6 +582,18 @@ func (s *Store) writeBlob(dst string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("chunkdisk: %w", err)
 	}
+	if s.sync.Policy() != fsyncer.PolicyNone {
+		// The rename (and a possibly fresh fan-out subdir) must survive a
+		// power loss too: sync the parent, then the root for the subdir's
+		// own entry.
+		if err := s.syncDir(filepath.Dir(dst)); err != nil {
+			return fmt.Errorf("chunkdisk: %w", err)
+		}
+		if err := s.syncDir(s.dir); err != nil {
+			return fmt.Errorf("chunkdisk: %w", err)
+		}
+	}
+	s.filesCreated.Add(1)
 	return nil
 }
 
@@ -391,9 +621,18 @@ func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
 	}
 	sh.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(h, meta.compressed))
+	var data []byte
+	var err error
+	if meta.pack != 0 {
+		data, meta, err = s.readPackBlob(h, meta)
+	} else {
+		data, err = os.ReadFile(s.path(h, meta.compressed))
+		if err != nil {
+			err = fmt.Errorf("chunkdisk: %w", err)
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("chunkdisk: %w", err)
+		return nil, err
 	}
 	if meta.compressed {
 		if data, err = inflate(data); err != nil {
@@ -408,9 +647,10 @@ func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
 	s.pageIns.Add(1)
 
 	sh.mu.Lock()
-	if meta.compressed && meta.logical != int64(len(data)) {
-		// An adopted ".z" blob was accounted at its physical size; the first
-		// page-in learns the real logical length — correct the books.
+	if meta.pack == 0 && meta.compressed && meta.logical != int64(len(data)) {
+		// An adopted loose ".z" blob was accounted at its physical size; the
+		// first page-in learns the real logical length — correct the books.
+		// (Pack records carry their logical length in the frame.)
 		if m, ok := sh.onDisk[h]; ok && m.compressed {
 			s.diskLogical.Add(int64(len(data)) - m.logical)
 			m.logical = int64(len(data))
@@ -434,6 +674,28 @@ func (s *Store) Get(h extent.Hash) (*extent.Chunk, error) {
 	s.evictLocked(sh)
 	sh.mu.Unlock()
 	return c, nil
+}
+
+// readPackBlob reads one pack-resident blob. The shared relocMu is held
+// across the read so compaction cannot unlink the pack under it, and the
+// index entry is re-read after locking: a blob the compactor relocated in
+// the window since the caller looked it up is found at its new address.
+func (s *Store) readPackBlob(h extent.Hash, meta diskMeta) ([]byte, diskMeta, error) {
+	ps := s.packs
+	ps.relocMu.RLock()
+	defer ps.relocMu.RUnlock()
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	cur, ok := sh.onDisk[h]
+	sh.mu.Unlock()
+	if !ok {
+		// Swept in the window. Callers pin refcounts across materialization,
+		// so this indicates a contract violation — surface it as missing.
+		return nil, meta, fmt.Errorf("chunkdisk: blob %x not stored", h[:8])
+	}
+	meta = cur
+	data, err := ps.read(meta.pack, meta.off, meta.size)
+	return data, meta, err
 }
 
 // evictLocked drops cold residents until the shard fits its budget. Memory
@@ -524,8 +786,11 @@ func (s *Store) Claim(h extent.Hash) bool {
 	return true
 }
 
-// Sweep unlinks every dead blob file and returns how many it freed — the
-// archive's background GC calls this on a timer.
+// Sweep reclaims every dead blob and returns how many it freed. Loose blobs
+// unlink their file; pack-resident blobs retire in place (the index entry
+// goes away, the bytes become dead space) and packs whose garbage ratio
+// crossed the threshold are compacted. The archive's background GC calls
+// this on a timer.
 func (s *Store) Sweep() int {
 	if s.dir == "" {
 		return 0
@@ -535,12 +800,31 @@ func (s *Store) Sweep() int {
 		h          extent.Hash
 		compressed bool
 	}
+	packDead := make(map[int64]int64)
+	packBlobs := make(map[int64]int64)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		claim := make([]claimed, 0, len(sh.dead))
 		for h := range sh.dead {
-			claim = append(claim, claimed{h: h, compressed: sh.onDisk[h].compressed})
+			meta := sh.onDisk[h]
+			if meta.pack != 0 {
+				// Retire the record in place: no per-blob file I/O. A reader
+				// cannot be mid-read — dead means unreferenced, and readers
+				// pin references.
+				delete(sh.onDisk, h)
+				delete(sh.dead, h)
+				s.deadBlobs.Add(-1)
+				s.diskBlobs.Add(-1)
+				s.diskBytes.Add(-meta.size)
+				s.diskLogical.Add(-meta.logical)
+				packDead[meta.pack] += meta.size
+				packBlobs[meta.pack]++
+				freed++
+				s.gcFreed.Add(1)
+				continue
+			}
+			claim = append(claim, claimed{h: h, compressed: meta.compressed})
 			sh.sweeping[h] = struct{}{}
 			delete(sh.dead, h)
 			s.deadBlobs.Add(-1)
@@ -563,7 +847,47 @@ func (s *Store) Sweep() int {
 			}
 		}
 	}
+	if s.packs != nil {
+		if len(packDead) > 0 {
+			s.packs.retire(packDead, packBlobs)
+		}
+		s.packs.maybeCompact()
+	}
 	return freed
+}
+
+// Sync is the commit durability barrier: under the group policy it returns
+// after a (shared) fdatasync covering every pack append that completed
+// before the call; under none and always it returns immediately (nothing
+// promised / already flushed per write).
+func (s *Store) Sync() error {
+	return s.sync.Barrier()
+}
+
+// Close seals the active packfile (fsyncing it under policies that sync) and
+// releases the directory lock. The store must not be used afterwards; a
+// memory-only store's Close is a no-op. Idempotent.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		if s.packs != nil {
+			s.closeErr = s.packs.close(true)
+		}
+		s.releaseLock()
+	})
+	return s.closeErr
+}
+
+// Crash simulates process death for tests: pack handles close without any
+// flush and the directory lock is released (a real crash releases it too —
+// the pid check lets the next open steal it), but no seal-time fsync and no
+// final sweep happen. The on-disk state is exactly what the OS had.
+func (s *Store) Crash() {
+	s.closeOnce.Do(func() {
+		if s.packs != nil {
+			_ = s.packs.close(false)
+		}
+		s.releaseLock()
+	})
 }
 
 // Stats returns the current tier counters.
@@ -579,6 +903,13 @@ func (s *Store) Stats() Stats {
 		DiskBytes:        s.diskBytes.Load(),
 		DiskLogicalBytes: s.diskLogical.Load(),
 		DeadBlobs:        s.deadBlobs.Load(),
+		Fsyncs:           s.fsyncs.Load(),
+		PackAppends:      s.packAppends.Load(),
+		PackFiles:        s.packFiles.Load(),
+		PackDeadBytes:    s.packDeadBytes.Load(),
+		PackCompactions:  s.packCompactions.Load(),
+		PackTornBytes:    s.packTornBytes.Load(),
+		FilesCreated:     s.filesCreated.Load(),
 	}
 }
 

@@ -73,7 +73,8 @@ func TestMemoryModeRoundTrip(t *testing.T) {
 func TestDiskSpillPageInAndVerify(t *testing.T) {
 	dir := t.TempDir()
 	// Budget of 16 bytes = 1 per shard: everything evicts after write.
-	s, err := Open(Config{Dir: dir, MemoryBudget: 16})
+	// Packing disabled: this test corrupts a LOOSE blob file by path.
+	s, err := Open(Config{Dir: dir, MemoryBudget: 16, PackThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,6 +193,7 @@ func TestAdoptExistingDirAsDead(t *testing.T) {
 	}
 	data, h := blob(5, 3000)
 	put(t, s1, data, h)
+	s1.Close() // the dir has a single owner at a time
 
 	// A new store over the same directory adopts the blob as dead...
 	s2, err := Open(Config{Dir: dir, MemoryBudget: 16})
@@ -211,6 +213,7 @@ func TestAdoptExistingDirAsDead(t *testing.T) {
 	if got := get(t, s2, h); !bytes.Equal(got, data) {
 		t.Fatal("adopted blob unreadable")
 	}
+	s2.Close()
 
 	// A third store sweeps the (again unreferenced) blob away.
 	s3, err := Open(Config{Dir: dir, MemoryBudget: 16})
@@ -234,6 +237,7 @@ func TestClaimRepinsAdoptedBlobs(t *testing.T) {
 	dataB, hB := blob(41, 2000)
 	put(t, s1, dataA, hA)
 	put(t, s1, dataB, hB)
+	s1.Close()
 
 	s2, err := Open(Config{Dir: dir, MemoryBudget: 16})
 	if err != nil {
@@ -279,7 +283,8 @@ func compressible(seed, size int) ([]byte, extent.Hash) {
 // back in byte-identical with the hash check on uncompressed bytes.
 func TestCompressRoundTripAndStats(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true})
+	// Loose layout under test (the ".z" naming); packs off.
+	s, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true, PackThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,15 +337,16 @@ func TestCompressRoundTripAndStats(t *testing.T) {
 // earlier store left, and vice versa; sweep removes the right file either way.
 func TestCompressAdoptAndMixedMode(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true})
+	s1, err := Open(Config{Dir: dir, MemoryBudget: 16, Compress: true, PackThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	zdata, zh := compressible(9, 16<<10)
 	put(t, s1, zdata, zh)
+	s1.Close()
 
 	// Uncompressed store adopts and serves the .z blob.
-	s2, err := Open(Config{Dir: dir, MemoryBudget: 16})
+	s2, err := Open(Config{Dir: dir, MemoryBudget: 16, PackThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"datalinks/internal/dlfs"
 	"datalinks/internal/engine"
 	"datalinks/internal/fs"
+	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
@@ -57,6 +58,18 @@ type ServerConfig struct {
 	// ArchiveCompress flate-compresses spilled archive chunks when that
 	// shrinks them. Only meaningful with ArchiveDir set.
 	ArchiveCompress bool
+	// ArchiveFsync selects the archive tier's durability policy: "" or
+	// "none" (rely on the OS page cache — the default), "group" (concurrent
+	// committers coalesce behind shared fdatasyncs), or "always" (every
+	// append flushes inline). Only meaningful with ArchiveDir set.
+	ArchiveFsync string
+	// ArchiveFsyncMaxDelay, under the group policy, is the group-commit
+	// leader's coalescing window before it flushes.
+	ArchiveFsyncMaxDelay time.Duration
+	// ArchivePackThreshold batches archive blobs at or below this size into
+	// packfiles (0: the default of one extent chunk; negative: packing
+	// disabled, one file per blob). Only meaningful with ArchiveDir set.
+	ArchivePackThreshold int64
 	// QuarantineTTL expires quarantined in-flight versions after this age
 	// (0: keep forever); QuarantineGCInterval runs the background sweeper
 	// (0: explicit SweepQuarantine only).
@@ -134,12 +147,23 @@ func NewSystem(cfg Config) (*System, error) {
 // addServer constructs one file server stack and attaches it to the engine.
 func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	phys := fs.NewWithClock(sys.clock)
+	fsyncPolicy, err := fsyncer.ParsePolicy(sc.ArchiveFsync)
+	if err != nil {
+		return nil, fmt.Errorf("core: server %s: %w", sc.Name, err)
+	}
+	// One registry per server, shared between DLFM and the archive tier so
+	// the fsync/pack counters surface next to the upcall/archive ones.
+	reg := metrics.NewRegistry()
 	arch, err := archive.NewTiered(sc.ArchiveLatency, sys.clock, archive.TierConfig{
 		Dir:             sc.ArchiveDir,
 		MemoryBudget:    sc.ArchiveMemoryBudget,
 		GCInterval:      sc.ArchiveGCInterval,
 		CheckpointEvery: sc.ArchiveCheckpointEvery,
 		Compress:        sc.ArchiveCompress,
+		Fsync:           fsyncPolicy,
+		FsyncMaxDelay:   sc.ArchiveFsyncMaxDelay,
+		PackThreshold:   sc.ArchivePackThreshold,
+		Metrics:         reg,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +179,7 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 		TokenTTL:      sys.ttl,
 		QuarantineTTL: sc.QuarantineTTL,
 		GCInterval:    sc.QuarantineGCInterval,
+		Metrics:       reg,
 	})
 	if err != nil {
 		arch.Close()

@@ -2,6 +2,7 @@ package dlfm
 
 import (
 	"fmt"
+	"hash/maphash"
 	"time"
 
 	"datalinks/internal/fs"
@@ -94,10 +95,11 @@ func (s *Server) readOpen(req upcall.Request) upcall.Response {
 		}
 		// Strict extension (§4.5 future work): register the open of an
 		// unlinked file so a concurrent link transaction can detect it.
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
-		s.syncFor(req.Path).readers[id] = true
+		sh, idx := s.pathShard(req.Path)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		id := s.newOpenLocked(sh, idx, req.Path, fs.UID(req.UID), false)
+		s.syncFor(sh, req.Path).readers[id] = true
 		s.cfg.Metrics.Counter("dlfm.open.read.strict").Inc()
 		return upcall.Response{OK: true, OpenID: id}
 	}
@@ -111,28 +113,30 @@ func (s *Server) readOpen(req upcall.Request) upcall.Response {
 		// taken the file over for an in-place update (rfd): the paper's
 		// design rejects such reads — read/write serialization without read
 		// locks (§4.2). With strict mode the file may simply be idle.
-		s.mu.Lock()
-		st := s.syncFor(req.Path)
+		sh, idx := s.pathShard(req.Path)
+		sh.mu.Lock()
+		st := s.syncFor(sh, req.Path)
 		writerActive := st.writer != 0
 		if writerActive || !req.Strict {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			return reject(upcall.CodePermission, req.Path+" is taken over for update")
 		}
-		id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
+		id := s.newOpenLocked(sh, idx, req.Path, fs.UID(req.UID), false)
 		st.readers[id] = true
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		s.cfg.Metrics.Counter("dlfm.open.read.strict").Inc()
 		return upcall.Response{OK: true, OpenID: id}
 	}
 	// Serialize against writers for full-control files: a reader must not
 	// observe an in-flight update (§4.2).
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.waitLocked(req.Path, func(st *syncState) bool { return st.writer == 0 }) {
+	sh, idx := s.pathShard(req.Path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !s.waitLocked(sh, req.Path, func(st *syncState) bool { return st.writer == 0 }) {
 		return reject(upcall.CodeBusy, req.Path+" is being updated")
 	}
-	id := s.newOpenLocked(req.Path, fs.UID(req.UID), false)
-	st := s.syncFor(req.Path)
+	id := s.newOpenLocked(sh, idx, req.Path, fs.UID(req.UID), false)
+	st := s.syncFor(sh, req.Path)
 	st.readers[id] = true
 	s.cfg.Metrics.Counter("dlfm.open.read").Inc()
 	return upcall.Response{OK: true, OpenID: id, TakeOver: fi.mode.FullControl()}
@@ -153,39 +157,53 @@ func (s *Server) checkRemoveRename(req upcall.Request) upcall.Response {
 	return upcall.Response{OK: true}
 }
 
-// newOpenLocked allocates an open state. Caller holds s.mu.
-func (s *Server) newOpenLocked(path string, uid fs.UID, write bool) uint64 {
-	s.nextOpen++
-	id := s.nextOpen
+// pathShard returns the open/sync shard owning a path, plus its index (the
+// index is baked into open ids allocated under it).
+func (s *Server) pathShard(path string) (*openShard, uint64) {
+	idx := maphash.String(s.openSeed, path) & (openShardCount - 1)
+	return &s.openShards[idx], idx
+}
+
+// openShardOf returns the shard an open id lives in — the id's low bits are
+// its path's shard index.
+func (s *Server) openShardOf(id uint64) *openShard {
+	return &s.openShards[id&(openShardCount-1)]
+}
+
+// newOpenLocked allocates an open state in the path's shard. Caller holds
+// sh.mu; idx is the shard's index (encoded into the id).
+func (s *Server) newOpenLocked(sh *openShard, idx uint64, path string, uid fs.UID, write bool) uint64 {
+	id := s.nextOpen.Add(1)<<openShardBits | idx
 	st := &openState{id: id, path: path, uid: uid, write: write}
 	if node, err := s.cfg.Phys.Lookup(path); err == nil {
 		if attr, err := s.cfg.Phys.Getattr(node); err == nil {
 			st.mtime = attr.Mtime
 		}
 	}
-	s.opens[id] = st
+	sh.opens[id] = st
 	return id
 }
 
-// syncFor returns the sync state for a path, creating it. Caller holds s.mu.
-func (s *Server) syncFor(path string) *syncState {
-	st, ok := s.syncs[path]
+// syncFor returns the sync state for a path, creating it. Caller holds the
+// path's shard mutex.
+func (s *Server) syncFor(sh *openShard, path string) *syncState {
+	st, ok := sh.syncs[path]
 	if !ok {
 		st = &syncState{readers: make(map[uint64]bool)}
-		s.syncs[path] = st
+		sh.syncs[path] = st
 	}
 	return st
 }
 
 // waitLocked blocks until pred holds for the path's sync state and no
 // archive is in flight for it, or the configured open-wait deadline passes.
-// Returns false on timeout. Caller holds s.mu on entry and exit; the wait
-// itself parks on the path's own channel, so only changes to THIS path (or
-// the deadline) wake it.
-func (s *Server) waitLocked(path string, pred func(*syncState) bool) bool {
+// Returns false on timeout. Caller holds the path's shard mutex on entry and
+// exit; the wait itself parks on the path's own channel, so only changes to
+// THIS path (or the deadline) wake it.
+func (s *Server) waitLocked(sh *openShard, path string, pred func(*syncState) bool) bool {
 	deadline := time.Now().Add(s.cfg.OpenWait)
 	for {
-		st := s.syncFor(path)
+		st := s.syncFor(sh, path)
 		if pred(st) && !st.archiving {
 			return true
 		}
@@ -195,30 +213,36 @@ func (s *Server) waitLocked(path string, pred func(*syncState) bool) bool {
 		}
 		ch := make(chan struct{})
 		st.waiters = append(st.waiters, ch)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		timer := time.NewTimer(remaining)
 		select {
 		case <-ch:
 			timer.Stop()
 		case <-timer.C:
 		}
-		s.mu.Lock()
+		sh.mu.Lock()
 	}
 }
 
 // OpenCount reports live opens (tests and status tooling).
 func (s *Server) OpenCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.opens)
+	n := 0
+	for i := range s.openShards {
+		sh := &s.openShards[i]
+		sh.mu.Lock()
+		n += len(sh.opens)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SyncEntries reports the Sync-table view for a path: reader count and
 // whether a writer holds it (§4.5).
 func (s *Server) SyncEntries(path string) (readers int, writer bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.syncs[path]
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.syncs[path]
 	if !ok {
 		return 0, false
 	}

@@ -13,6 +13,7 @@ package dlfm
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,12 +154,35 @@ type compensation struct {
 	onCommit func() error // run once the host transaction commits
 }
 
+// openShardCount stripes the open/sync bookkeeping by path hash (like the
+// sqlmini lock-manager shards): traffic on one file never takes the same
+// mutex as traffic on another, outside 1-in-openShardCount hash collisions.
+// Must be a power of two; open ids encode their shard in the low bits so an
+// open can be found by id alone.
+const openShardCount = 16
+
+// openShardBits is log2(openShardCount).
+const openShardBits = 4
+
+// openShard is one stripe of the open/sync/takeover bookkeeping. An open id
+// always lives in the shard of its path, so one lock covers an open and its
+// file's sync state together.
+type openShard struct {
+	mu        sync.Mutex
+	syncs     map[string]*syncState
+	opens     map[uint64]*openState
+	takeovers map[string]*takeoverState
+}
+
 // Server is a DLFM instance. One per file server.
 //
 // Locking: the token table has its own read/write mutex — token validation
 // and token-entry checks (every managed open) never contend with the open/
-// sync bookkeeping under mu. Blocked opens wait on per-path channels inside
-// syncState, not on a server-wide condition variable.
+// sync bookkeeping. That bookkeeping itself is striped across openShardCount
+// path-hashed shards, so concurrent opens of different files do not
+// serialize; blocked opens wait on per-path channels inside syncState, not
+// on a server-wide condition variable. The remaining server mutex guards
+// only the sub-transaction table and the small counters.
 type Server struct {
 	cfg  Config
 	repo *sqlmini.DB
@@ -167,12 +191,12 @@ type Server struct {
 	tokMu  sync.RWMutex
 	tokens map[tokenKey]tokenEntry
 
+	openSeed   maphash.Seed
+	openShards [openShardCount]openShard
+	nextOpen   atomic.Uint64
+
 	mu          sync.Mutex
-	syncs       map[string]*syncState
-	opens       map[uint64]*openState
-	takeovers   map[string]*takeoverState
 	subs        map[uint64]*subTxn
-	nextOpen    uint64
 	nextJournal int64
 	agents      int64
 	closed      bool
@@ -210,14 +234,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	repo := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, Log: cfg.RepoLog, LockTimeout: cfg.OpenWait, Metrics: cfg.Metrics})
 	s := &Server{
-		cfg:       cfg,
-		repo:      repo,
-		auth:      token.NewAuthority(cfg.TokenKey, cfg.Clock, cfg.TokenTTL),
-		tokens:    make(map[tokenKey]tokenEntry),
-		syncs:     make(map[string]*syncState),
-		opens:     make(map[uint64]*openState),
-		takeovers: make(map[string]*takeoverState),
-		subs:      make(map[uint64]*subTxn),
+		cfg:      cfg,
+		repo:     repo,
+		auth:     token.NewAuthority(cfg.TokenKey, cfg.Clock, cfg.TokenTTL),
+		tokens:   make(map[tokenKey]tokenEntry),
+		openSeed: maphash.MakeSeed(),
+		subs:     make(map[uint64]*subTxn),
+	}
+	for i := range s.openShards {
+		sh := &s.openShards[i]
+		sh.syncs = make(map[string]*syncState)
+		sh.opens = make(map[uint64]*openState)
+		sh.takeovers = make(map[string]*takeoverState)
 	}
 	for op := upcall.Op(1); op < upcallOpRange; op++ {
 		s.upcallCtrs[op] = cfg.Metrics.Counter("dlfm.upcall." + op.String())

@@ -66,12 +66,13 @@ func (s *Server) LinkFile(hostTxn uint64, path string, opts datalink.ColumnOptio
 	// be detected and rejected — closing the §4.5 window of inconsistency.
 	// Without it, the link succeeds and the window exists (the paper's
 	// shipped behaviour).
-	s.mu.Lock()
-	if st, ok := s.syncs[path]; ok && (st.writer != 0 || len(st.readers) > 0) {
-		s.mu.Unlock()
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	if st, ok := sh.syncs[path]; ok && (st.writer != 0 || len(st.readers) > 0) {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s is open", ErrFileBusy, path)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	sub := s.subFor(hostTxn)
 	// Repository insert; the primary key rejects double links.
@@ -181,12 +182,13 @@ func (s *Server) UnlinkFile(hostTxn uint64, path string) error {
 	}
 	// Synchronization with open files: any Sync entry or update entry
 	// rejects the unlink (§4.5).
-	s.mu.Lock()
-	if st, ok := s.syncs[path]; ok && (st.writer != 0 || len(st.readers) > 0) {
-		s.mu.Unlock()
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	if st, ok := sh.syncs[path]; ok && (st.writer != 0 || len(st.readers) > 0) {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrFileBusy, path)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if s.hasUpdateEntry(path) {
 		return fmt.Errorf("%w: %s (update in progress)", ErrFileBusy, path)
 	}

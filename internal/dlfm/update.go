@@ -39,7 +39,8 @@ func (s *Server) writeOpen(req upcall.Request) upcall.Response {
 		return reject(upcall.CodePermission, "no valid write token entry for "+req.Path)
 	}
 
-	s.mu.Lock()
+	sh, idx := s.pathShard(req.Path)
+	sh.mu.Lock()
 	// Wait until no conflicting open and no pending archive (§4.4: "any new
 	// update request to the file is blocked until the archiving completes").
 	pred := func(st *syncState) bool { return st.writer == 0 }
@@ -47,14 +48,14 @@ func (s *Server) writeOpen(req upcall.Request) upcall.Response {
 		// rdd: readers also serialize against the writer.
 		pred = func(st *syncState) bool { return st.writer == 0 && len(st.readers) == 0 }
 	}
-	if !s.waitLocked(req.Path, pred) {
-		s.mu.Unlock()
+	if !s.waitLocked(sh, req.Path, pred) {
+		sh.mu.Unlock()
 		return reject(upcall.CodeBusy, req.Path+" is busy (open or archiving)")
 	}
-	id := s.newOpenLocked(req.Path, fs.UID(req.UID), true)
-	st := s.syncFor(req.Path)
+	id := s.newOpenLocked(sh, idx, req.Path, fs.UID(req.UID), true)
+	st := s.syncFor(sh, req.Path)
 	st.writer = id
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Durable update entry before the open is approved (§4.4): after a crash
 	// this row is how recovery knows a restore is needed.
@@ -86,11 +87,12 @@ func (s *Server) takeOver(path string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	if _, ok := s.takeovers[path]; !ok {
-		s.takeovers[path] = &takeoverState{origUID: attr.UID, origMode: attr.Mode}
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	if _, ok := sh.takeovers[path]; !ok {
+		sh.takeovers[path] = &takeoverState{origUID: attr.UID, origMode: attr.Mode}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err := s.cfg.Phys.Chown(node, rootCred, s.cfg.UID); err != nil {
 		return err
 	}
@@ -99,30 +101,33 @@ func (s *Server) takeOver(path string) error {
 
 // releaseTakeover restores the at-rest linked state after an update ends.
 func (s *Server) releaseTakeover(path string, fi fileInfo) error {
-	s.mu.Lock()
-	delete(s.takeovers, path)
-	s.mu.Unlock()
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	delete(sh.takeovers, path)
+	sh.mu.Unlock()
 	return s.restoreLinkState(path, fi)
 }
 
 // dropOpen discards open and sync state for an open id, waking only the
-// opens parked on that path.
+// opens parked on that path. (An open id lives in its path's shard, so one
+// lock covers both.)
 func (s *Server) dropOpen(id uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.opens[id]
+	sh := s.openShardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.opens[id]
 	if !ok {
 		return
 	}
-	delete(s.opens, id)
-	if sy, ok := s.syncs[st.path]; ok {
+	delete(sh.opens, id)
+	if sy, ok := sh.syncs[st.path]; ok {
 		delete(sy.readers, id)
 		if sy.writer == id {
 			sy.writer = 0
 		}
 		sy.wake()
 		if sy.idle() {
-			delete(s.syncs, st.path)
+			delete(sh.syncs, st.path)
 		}
 	}
 }
@@ -134,9 +139,10 @@ func (s *Server) clearUpdateEntry(path string) {
 
 // closeFile handles the fs_close upcall — end transaction for write opens.
 func (s *Server) closeFile(req upcall.Request) upcall.Response {
-	s.mu.Lock()
-	st, ok := s.opens[req.OpenID]
-	s.mu.Unlock()
+	sh := s.openShardOf(req.OpenID)
+	sh.mu.Lock()
+	st, ok := sh.opens[req.OpenID]
+	sh.mu.Unlock()
 	if !ok {
 		return reject(upcall.CodeInternal, fmt.Sprintf("unknown open id %d", req.OpenID))
 	}
@@ -271,23 +277,24 @@ func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) 
 	if err != nil {
 		snap = nil
 	}
-	s.mu.Lock()
-	s.syncFor(path).archiving = true
-	s.mu.Unlock()
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
+	s.syncFor(sh, path).archiving = true
+	sh.mu.Unlock()
 	s.archJobs.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer func() {
-			s.mu.Lock()
-			if sy, ok := s.syncs[path]; ok {
+			sh.mu.Lock()
+			if sy, ok := sh.syncs[path]; ok {
 				sy.archiving = false
 				sy.wake()
 				if sy.idle() {
-					delete(s.syncs, path)
+					delete(sh.syncs, path)
 				}
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			s.archJobs.Add(-1)
 		}()
 		// A simulated machine crash (CrashRepo) can race this job; the
@@ -330,9 +337,10 @@ func (s *Server) WaitArchives() {
 // last committed version is restored and the in-flight content quarantined.
 // Exposed to the engine/core layer; a crash takes the same path in recovery.
 func (s *Server) AbortUpdate(openID uint64) error {
-	s.mu.Lock()
-	st, ok := s.opens[openID]
-	s.mu.Unlock()
+	sh := s.openShardOf(openID)
+	sh.mu.Lock()
+	st, ok := sh.opens[openID]
+	sh.mu.Unlock()
 	if !ok || !st.write {
 		return fmt.Errorf("dlfm: open %d is not an in-flight update", openID)
 	}
@@ -341,12 +349,13 @@ func (s *Server) AbortUpdate(openID uint64) error {
 
 // AbortUpdateByPath rolls back the in-flight update transaction on a path.
 func (s *Server) AbortUpdateByPath(path string) error {
-	s.mu.Lock()
+	sh, _ := s.pathShard(path)
+	sh.mu.Lock()
 	var st *openState
-	if sy, ok := s.syncs[path]; ok && sy.writer != 0 {
-		st = s.opens[sy.writer]
+	if sy, ok := sh.syncs[path]; ok && sy.writer != 0 {
+		st = sh.opens[sy.writer]
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if st == nil {
 		return fmt.Errorf("dlfm: no update in flight on %s", path)
 	}

@@ -1,0 +1,153 @@
+package fsyncer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"", PolicyNone, true},
+		{"none", PolicyNone, true},
+		{"NONE", PolicyNone, true},
+		{" group ", PolicyGroup, true},
+		{"always", PolicyAlways, true},
+		{"fsync", PolicyNone, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, p := range []Policy{PolicyNone, PolicyGroup, PolicyAlways} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip of %v failed: %v %v", p, back, err)
+		}
+	}
+}
+
+func TestAlwaysFlushesPerWrite(t *testing.T) {
+	var flushes atomic.Int64
+	s := New(PolicyAlways, 0, func() error { flushes.Add(1); return nil }, nil)
+	for i := 0; i < 5; i++ {
+		if err := s.AfterWrite(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes.Load() != 5 || s.Count() != 5 {
+		t.Fatalf("always issued %d flushes for 5 writes (count %d)", flushes.Load(), s.Count())
+	}
+}
+
+func TestNoneNeverFlushes(t *testing.T) {
+	s := New(PolicyNone, 0, func() error { t.Error("flush called under PolicyNone"); return nil }, nil)
+	_ = s.AfterWrite()
+	_ = s.Barrier()
+	if s.Count() != 0 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+// TestGroupBarrierCoversWrites is the correctness core of group commit: every
+// Barrier must return only after a flush that STARTED after the caller's
+// write completed. The flush callback snapshots a shared "written" counter as
+// the "durable" watermark; each committer asserts its own write is at or
+// below the watermark when its Barrier returns.
+func TestGroupBarrierCoversWrites(t *testing.T) {
+	var written, durable atomic.Int64
+	s := New(PolicyGroup, 0, func() error {
+		// Simulate a slow device so rounds genuinely overlap arrivals.
+		snapshot := written.Load()
+		time.Sleep(200 * time.Microsecond)
+		durable.Store(snapshot)
+		return nil
+	}, nil)
+
+	const committers = 16
+	const commitsEach = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, committers*commitsEach)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < commitsEach; i++ {
+				my := written.Add(1)
+				if err := s.Barrier(); err != nil {
+					errs <- err
+					return
+				}
+				if durable.Load() < my {
+					t.Errorf("barrier returned with durable=%d < my write %d", durable.Load(), my)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	total := int64(committers * commitsEach)
+	if got := s.Count(); got >= total {
+		t.Fatalf("group commit did not batch: %d flushes for %d commits", got, total)
+	}
+	if s.Count() == 0 {
+		t.Fatal("no flushes issued")
+	}
+}
+
+// TestGroupPropagatesFlushErrors: a failing flush surfaces to every committer
+// covered by that round, and a later healthy round clears the error.
+func TestGroupPropagatesFlushErrors(t *testing.T) {
+	boom := errors.New("device gone")
+	var fail atomic.Bool
+	s := New(PolicyGroup, 0, func() error {
+		if fail.Load() {
+			return boom
+		}
+		return nil
+	}, nil)
+	fail.Store(true)
+	if err := s.Barrier(); !errors.Is(err, boom) {
+		t.Fatalf("barrier error = %v, want %v", err, boom)
+	}
+	fail.Store(false)
+	if err := s.Barrier(); err != nil {
+		t.Fatalf("healthy round still failing: %v", err)
+	}
+}
+
+// TestGroupLeaderDelayCoalesces: with a coalescing window, committers arriving
+// together share very few rounds.
+func TestGroupLeaderDelayCoalesces(t *testing.T) {
+	s := New(PolicyGroup, 2*time.Millisecond, func() error { return nil }, nil)
+	const committers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Barrier(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got > 3 {
+		t.Fatalf("%d flushes for %d simultaneous committers with a coalescing window", got, committers)
+	}
+}

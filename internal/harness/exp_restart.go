@@ -8,6 +8,7 @@ import (
 
 	"datalinks/internal/archive"
 	"datalinks/internal/core"
+	"datalinks/internal/fsyncer"
 	"datalinks/internal/workload"
 )
 
@@ -33,6 +34,7 @@ var (
 	RestartBudgetMB = 4
 	RestartDir      = "" // "" = private temp dir, removed afterwards
 	RestartCompress = false
+	RestartFsync    = "" // fsync policy for the churn AND the reopen ("", none, group, always)
 )
 
 // restartPath returns the deterministic linked-file path for file i.
@@ -69,9 +71,14 @@ func runE16() ([]*Table, error) {
 		editSize = fileSize
 	}
 	budget := int64(RestartBudgetMB) << 20
+	fsyncPolicy, err := fsyncer.ParsePolicy(RestartFsync)
+	if err != nil {
+		return nil, err
+	}
 	tier := archive.TierConfig{
 		MemoryBudget: budget,
 		Compress:     RestartCompress,
+		Fsync:        fsyncPolicy,
 	}
 
 	dir := RestartDir
@@ -182,7 +189,8 @@ func runE16() ([]*Table, error) {
 	t.AddRow("bytes re-archived on reopen", fmt.Sprintf("%d (spills: %d)", reArchived, spills))
 	t.AddRow("chunks paged in by verification", fmt.Sprintf("%d", final.PageIns))
 	t.AddRow("on-disk bytes (physical / logical)", fmt.Sprintf("%s / %s", mb(diskAfterChurn), mb(final.DiskLogicalBytes)))
-	t.AddRow("compression", fmt.Sprintf("%v", RestartCompress))
+	t.AddRow("pack files / torn pack bytes", fmt.Sprintf("%d / %d", final.PackFiles, final.PackTornBytes))
+	t.AddRow("compression / fsync policy", fmt.Sprintf("%v / %s", RestartCompress, fsyncPolicy))
 	t.Note("the reopened store never existed while the versions were committed: the catalog (manifest log + snapshot) is the only index")
 	t.Note("zero bytes re-archived is enforced, not just reported — a catalog regression fails the experiment (and the CI restart smoke job)")
 	return []*Table{t}, nil
@@ -199,6 +207,7 @@ func restartChurn(dir string, budget, fileSize, editSize int64, expected [][][]b
 			ArchiveDir:          dir,
 			ArchiveMemoryBudget: budget,
 			ArchiveCompress:     RestartCompress,
+			ArchiveFsync:        RestartFsync,
 		}},
 		LockTimeout: 30 * time.Second,
 	})

@@ -182,6 +182,10 @@ func runE15() ([]*Table, error) {
 	t.AddRow("archive resident bytes", fmt.Sprintf("%s (bounded: %v)", mb(churn.ResidentBytes), churn.ResidentBytes <= budget))
 	t.AddRow("chunks spilled to disk", fmt.Sprintf("%d", churn.Spills))
 	t.AddRow("LRU evictions", fmt.Sprintf("%d", churn.Evictions))
+	t.AddRow("pack appends / pack files", fmt.Sprintf("%d / %d", churn.PackAppends, churn.PackFiles))
+	t.AddRow("pack dead space / compactions", fmt.Sprintf("%d B / %d", churn.PackDeadBytes, churn.PackCompactions))
+	chunkFs, catFs := srv.Archive.Fsyncs()
+	t.AddRow("fsyncs (chunkdisk / catalog)", fmt.Sprintf("%d / %d", chunkFs, catFs))
 	t.AddRow("rollbacks restored from archive", fmt.Sprintf("%d/%d verified byte-identical", restoredOK, TieredFiles))
 	t.AddRow("chunks paged in by restores", fmt.Sprintf("%d", afterRestore.PageIns-churn.PageIns))
 	t.AddRow("files quarantined", fmt.Sprintf("%d", quarantined))
