@@ -82,6 +82,13 @@ func main() {
 		e17file  = flag.Int("e17-filesize", 0, "E17: linked file size in KiB")
 		e17edit  = flag.Int("e17-editsize", 0, "E17: edit size in bytes")
 		e17dir   = flag.String("e17-dir", "", "E17: archive directory root (default: private temp dirs)")
+		e18files = flag.Int("e18-files", 0, "E18: linked files")
+		e18size  = flag.Int("e18-filesize", 0, "E18: linked file size in KiB")
+		e18vers  = flag.Int("e18-versions", 0, "E18: versions committed per file")
+		e18edit  = flag.Int("e18-editsize", 0, "E18: edit size in KiB")
+		e18ckpt  = flag.Int("e18-ckpt", 0, "E18: repository checkpoint interval in KiB")
+		e18dir   = flag.String("e18-dir", "", "E18: durable root holding repo/ and archive/; if it already holds E18 state, the run only cold-serves and verifies it (default: private temp dir)")
+		e18fsync = flag.String("e18-fsync", "", "E18: repo + archive fsync policy (none|group|always)")
 	)
 	flag.Parse()
 
@@ -177,6 +184,27 @@ func main() {
 	}
 	if *e17dir != "" {
 		harness.BatchDir = *e17dir
+	}
+	if *e18files > 0 {
+		harness.ColdFiles = *e18files
+	}
+	if *e18size > 0 {
+		harness.ColdFileKB = *e18size
+	}
+	if *e18vers > 0 {
+		harness.ColdVersions = *e18vers
+	}
+	if *e18edit > 0 {
+		harness.ColdEditKB = *e18edit
+	}
+	if *e18ckpt > 0 {
+		harness.ColdCheckpointKB = *e18ckpt
+	}
+	if *e18dir != "" {
+		harness.ColdDir = *e18dir
+	}
+	if *e18fsync != "" {
+		harness.ColdFsync = *e18fsync
 	}
 
 	if *list {

@@ -105,6 +105,22 @@ type ServerConfig struct {
 	// QuarantineGCInterval runs the background quarantine sweeper.
 	QuarantineTTL        time.Duration
 	QuarantineGCInterval time.Duration
+	// RepoDir enables the durable repository plane: the file server's
+	// metadata database logs to CRC-framed WAL segments under this real
+	// directory and periodically snapshots itself to repo.snap, so a fresh
+	// Open over the same directory (plus ArchiveDir) cold-starts the server
+	// after a whole-process kill. Empty keeps the repository in memory.
+	RepoDir string
+	// RepoFsync selects the repository WAL durability policy: "" or "none"
+	// (rely on the OS page cache), "group" (coalesced fdatasyncs), or
+	// "always" (every flush syncs inline). Only meaningful with RepoDir set.
+	RepoFsync string
+	// RepoFsyncMaxDelay, under "group", is the group-commit leader's
+	// coalescing window before it flushes.
+	RepoFsyncMaxDelay time.Duration
+	// RepoCheckpointBytes takes a repository checkpoint after roughly this
+	// many logged bytes (<= 0: 1 MiB).
+	RepoCheckpointBytes int64
 }
 
 // Config configures a System.
@@ -146,6 +162,10 @@ func Open(cfg Config) (*System, error) {
 			ArchivePackThreshold:   s.ArchivePackThreshold,
 			QuarantineTTL:          s.QuarantineTTL,
 			QuarantineGCInterval:   s.QuarantineGCInterval,
+			RepoDir:                s.RepoDir,
+			RepoFsync:              s.RepoFsync,
+			RepoFsyncMaxDelay:      s.RepoFsyncMaxDelay,
+			RepoCheckpointBytes:    s.RepoCheckpointBytes,
 		}
 	}
 	c, err := core.NewSystem(core.Config{
@@ -323,6 +343,15 @@ func (s *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, error
 
 // RecoverHost simulates a crash and restart of the host database machine.
 func (s *System) RecoverHost() error { return s.core.RecoverHost() }
+
+// Crash simulates a whole-process kill: all volatile state is dropped with
+// no clean shutdown. Only the durable directories (RepoDir, ArchiveDir)
+// survive; a later Open over the same directories cold-starts from them.
+func (s *System) Crash() { s.core.Crash() }
+
+// Recovery returns the cold-start recovery report of this file server, or
+// nil if it started fresh (no prior durable repository state).
+func (f *FileServer) Recovery() *dlfm.RecoveryReport { return f.inner.Recovery }
 
 // Session returns an application identity with the given uid.
 func (s *System) Session(uid int32) *Session {

@@ -40,13 +40,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
 
+	"datalinks/internal/dirlock"
 	"datalinks/internal/extent"
 	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
@@ -168,9 +167,9 @@ type Store struct {
 	packThreshold int64 // pack blobs at or below this; < 0 = packs disabled
 	shards        [shardCount]shard
 
-	packs    *packSet        // nil when packing is disabled or memory-only
-	sync     *fsyncer.Syncer // durability policy (never nil)
-	lockPath string          // archive.lock we own ("" when not held)
+	packs *packSet        // nil when packing is disabled or memory-only
+	sync  *fsyncer.Syncer // durability policy (never nil)
+	lock  *dirlock.Lock   // archive.lock we own (nil when not held)
 
 	// Optional metrics mirrors (nil without a registry).
 	mFsyncs      *metrics.Counter
@@ -308,59 +307,25 @@ func (s *Store) flushForGroup() error {
 // lockName is the single-owner lockfile kept in the store directory.
 const lockName = "archive.lock"
 
-// acquireLock takes single ownership of the directory, stealing a lock whose
-// owner process is gone. The steal moves the stale lock aside with a rename —
-// an atomic arbiter, so of N concurrent stealers exactly one rename succeeds
-// and at most one O_EXCL create wins; remove-then-create would let a loser
-// delete the winner's fresh lock.
+// acquireLock takes single ownership of the directory via dirlock, which
+// stamps the lockfile with pid + process start token: a dead owner — even
+// one whose pid has been recycled by an unrelated process — is stolen from,
+// a live owner is refused.
 func (s *Store) acquireLock() error {
-	path := filepath.Join(s.dir, lockName)
-	for attempt := 0; ; attempt++ {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			if werr != nil {
-				os.Remove(path)
-				return fmt.Errorf("chunkdisk: writing %s: %w", lockName, werr)
-			}
-			s.lockPath = path
-			return nil
-		}
-		if !os.IsExist(err) {
-			return fmt.Errorf("chunkdisk: %w", err)
-		}
-		raw, rerr := os.ReadFile(path)
-		pid, _ := strconv.Atoi(strings.TrimSpace(string(raw)))
-		if rerr == nil && attempt == 0 && pid > 0 && pid != os.Getpid() && !pidAlive(pid) {
-			// The owner died without releasing. Rename the stale lock aside
-			// and retry the exclusive create; whether the rename succeeded
-			// (we won the steal) or failed (another stealer beat us to it),
-			// the retry's O_EXCL decides ownership — a second EEXIST there
-			// fails fast below.
-			if os.Rename(path, path+".stale") == nil {
-				os.Remove(path + ".stale")
-			}
-			continue
-		}
-		return fmt.Errorf("chunkdisk: %s is locked by pid %d (%s); a chunk directory has a single owner process", s.dir, pid, path)
+	lk, err := dirlock.Acquire(s.dir, lockName)
+	if err != nil {
+		return fmt.Errorf("chunkdisk: %w", err)
 	}
+	s.lock = lk
+	return nil
 }
 
 // releaseLock removes the lockfile if this store holds it.
 func (s *Store) releaseLock() {
-	if s.lockPath != "" {
-		os.Remove(s.lockPath)
-		s.lockPath = ""
+	if s.lock != nil {
+		s.lock.Release()
+		s.lock = nil
 	}
-}
-
-// pidAlive reports whether a process with the given pid exists.
-func pidAlive(pid int) bool {
-	err := syscall.Kill(pid, 0)
-	return err == nil || err == syscall.EPERM
 }
 
 // adoptExisting indexes blob files left by a previous store over the same

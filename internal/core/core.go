@@ -75,6 +75,21 @@ type ServerConfig struct {
 	// (0: explicit SweepQuarantine only).
 	QuarantineTTL        time.Duration
 	QuarantineGCInterval time.Duration
+	// RepoDir enables the durable repository plane: the DLFM repository's
+	// write-ahead log lives in CRC-framed segment files under this real
+	// directory, with periodic checkpoint snapshots (repo.snap) anchoring
+	// restart recovery. Empty keeps the repository WAL in memory.
+	RepoDir string
+	// RepoFsync selects the repository WAL durability policy: "" or "none"
+	// (rely on the OS page cache), "group" (coalesced fdatasyncs), or
+	// "always" (every flush syncs inline). Only meaningful with RepoDir set.
+	RepoFsync string
+	// RepoFsyncMaxDelay, under the group policy, is the group-commit
+	// leader's coalescing window before it flushes.
+	RepoFsyncMaxDelay time.Duration
+	// RepoCheckpointBytes takes a repository checkpoint after roughly this
+	// many logged bytes (<= 0: the dlfm default).
+	RepoCheckpointBytes int64
 }
 
 // Config configures a System.
@@ -96,7 +111,10 @@ type FileServer struct {
 	LFS       *vfs.LFS // applications' mount (through DLFS)
 	NativeLFS *vfs.LFS // bypass mount (native-FS baseline measurements)
 	Transport *upcall.Transport
-	cfg       ServerConfig
+	// Recovery is non-nil when opening a durable repository directory ran
+	// cold-start recovery instead of a fresh boot.
+	Recovery *dlfm.RecoveryReport
+	cfg      ServerConfig
 
 	// TCP deployment resources (nil for in-process upcalls).
 	tcpServer *upcall.Server
@@ -168,18 +186,27 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := dlfm.New(dlfm.Config{
-		Name:          sc.Name,
-		Phys:          phys,
-		Archive:       arch,
-		Host:          sys.Engine,
-		TokenKey:      sys.key,
-		Clock:         sys.clock,
-		OpenWait:      sc.OpenWait,
-		TokenTTL:      sys.ttl,
-		QuarantineTTL: sc.QuarantineTTL,
-		GCInterval:    sc.QuarantineGCInterval,
-		Metrics:       reg,
+	repoFsync, err := fsyncer.ParsePolicy(sc.RepoFsync)
+	if err != nil {
+		arch.Close()
+		return nil, fmt.Errorf("core: server %s: %w", sc.Name, err)
+	}
+	srv, recovery, err := dlfm.Open(dlfm.Config{
+		Name:                sc.Name,
+		Phys:                phys,
+		Archive:             arch,
+		Host:                sys.Engine,
+		TokenKey:            sys.key,
+		Clock:               sys.clock,
+		OpenWait:            sc.OpenWait,
+		TokenTTL:            sys.ttl,
+		QuarantineTTL:       sc.QuarantineTTL,
+		GCInterval:          sc.QuarantineGCInterval,
+		Metrics:             reg,
+		RepoDir:             sc.RepoDir,
+		RepoFsync:           repoFsync,
+		RepoFsyncMaxDelay:   sc.RepoFsyncMaxDelay,
+		RepoCheckpointBytes: sc.RepoCheckpointBytes,
 	})
 	if err != nil {
 		arch.Close()
@@ -191,6 +218,7 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 		Archive:   arch,
 		DLFM:      srv,
 		NativeLFS: vfs.NewLFS(vfs.NewPassthrough(phys)),
+		Recovery:  recovery,
 		cfg:       sc,
 	}
 	// The upcall channel: direct in-process calls by default; a real TCP
@@ -268,6 +296,29 @@ func (sys *System) Close() {
 	}
 }
 
+// Crash simulates a whole-process kill (kill -9 of the deployment): every
+// file server's volatile state is dropped on the floor — no final
+// checkpoint, no archive drain, no clean WAL close. Only what the durable
+// planes already wrote (repository WAL segments + snapshot under RepoDir,
+// archive chunks + catalog under ArchiveDir) survives for a later NewSystem
+// over the same directories to cold-start from. The RAM-backed physical file
+// systems die with the process.
+func (sys *System) Crash() {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	for _, s := range sys.servers {
+		s.DLFM.Kill()
+		s.Archive.Crash()
+		if s.tcpClient != nil {
+			s.tcpClient.Close()
+		}
+		if s.tcpServer != nil {
+			s.tcpServer.Close()
+		}
+	}
+	sys.servers = make(map[string]*FileServer)
+}
+
 // CrashAndRecoverServer simulates a crash of one file server machine and
 // runs DLFM restart recovery (§4.2/§4.4): in-flight updates roll back to
 // the last committed version, in-doubt sub-transactions resolve against the
@@ -287,17 +338,25 @@ func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, err
 	if old.tcpServer != nil {
 		old.tcpServer.Close()
 	}
+	repoFsync, err := fsyncer.ParsePolicy(old.cfg.RepoFsync)
+	if err != nil {
+		return nil, fmt.Errorf("core: server %s: %w", name, err)
+	}
 	srv, rep, err := dlfm.Recover(dlfm.Config{
-		Name:          name,
-		Phys:          old.Phys, // the disk survives
-		Archive:       old.Archive,
-		Host:          sys.Engine,
-		TokenKey:      sys.key,
-		Clock:         sys.clock,
-		OpenWait:      old.cfg.OpenWait,
-		TokenTTL:      sys.ttl,
-		QuarantineTTL: old.cfg.QuarantineTTL,
-		GCInterval:    old.cfg.QuarantineGCInterval,
+		Name:                name,
+		Phys:                old.Phys, // the disk survives
+		Archive:             old.Archive,
+		Host:                sys.Engine,
+		TokenKey:            sys.key,
+		Clock:               sys.clock,
+		OpenWait:            old.cfg.OpenWait,
+		TokenTTL:            sys.ttl,
+		QuarantineTTL:       old.cfg.QuarantineTTL,
+		GCInterval:          old.cfg.QuarantineGCInterval,
+		RepoDir:             old.cfg.RepoDir,
+		RepoFsync:           repoFsync,
+		RepoFsyncMaxDelay:   old.cfg.RepoFsyncMaxDelay,
+		RepoCheckpointBytes: old.cfg.RepoCheckpointBytes,
 	}, durable)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,143 @@
+// Package dirlock implements single-owner directory lockfiles shared by the
+// durable stores (the archive chunk directory and the repository WAL
+// directory): two processes must never write the same directory.
+//
+// The lockfile records the owner's pid AND its process start token (on
+// Linux, the starttime field of /proc/<pid>/stat). A bare pid is not enough
+// to decide whether an owner is alive: pids recycle, so a dead owner whose
+// pid was reused by an unrelated process would look alive forever and wedge
+// every successor. With the start token stamped, a recycled pid is
+// distinguishable from the original owner — same pid, different token —
+// and the stale lock is stolen.
+//
+// The steal itself moves the stale lockfile aside with a rename, an atomic
+// arbiter: of N concurrent stealers exactly one rename succeeds and at most
+// one O_EXCL re-create wins. Remove-then-create would let a loser delete the
+// winner's fresh lock.
+package dirlock
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Lock is a held directory lock. Release it exactly once.
+type Lock struct {
+	path string
+}
+
+// Path returns the lockfile location (tests and diagnostics).
+func (l *Lock) Path() string { return l.path }
+
+// Release removes the lockfile. Safe to call on a nil or already-released
+// lock.
+func (l *Lock) Release() {
+	if l != nil && l.path != "" {
+		os.Remove(l.path)
+		l.path = ""
+	}
+}
+
+// Acquire takes single ownership of dir via a lockfile with the given name,
+// stealing a lock whose owner process is provably gone — its pid no longer
+// exists, or the pid exists but belongs to a different process incarnation
+// (start-token mismatch after pid recycling).
+func Acquire(dir, name string) (*Lock, error) {
+	path := filepath.Join(dir, name)
+	stamp := fmt.Sprintf("%d %s\n", os.Getpid(), startToken(os.Getpid()))
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := f.WriteString(stamp)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, fmt.Errorf("dirlock: writing %s: %w", path, werr)
+			}
+			return &Lock{path: path}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("dirlock: %w", err)
+		}
+		raw, rerr := os.ReadFile(path)
+		pid, tok := parseStamp(string(raw))
+		if rerr == nil && attempt == 0 && pid > 0 && !ownerAlive(pid, tok) {
+			// The owner died without releasing. Rename the stale lock aside
+			// and retry the exclusive create; whether the rename succeeded
+			// (we won the steal) or failed (another stealer beat us to it),
+			// the retry's O_EXCL decides ownership — a second EEXIST there
+			// fails fast below.
+			if os.Rename(path, path+".stale") == nil {
+				os.Remove(path + ".stale")
+			}
+			continue
+		}
+		return nil, fmt.Errorf("dirlock: %s is locked by pid %d (%s): the directory has a single owner process", dir, pid, path)
+	}
+}
+
+// parseStamp decodes "pid" or "pid token" lockfile contents. Older lockfiles
+// carry only the pid; their token comes back empty and aliveness degrades to
+// the pid-only check.
+func parseStamp(s string) (pid int, token string) {
+	fields := strings.Fields(s)
+	if len(fields) >= 1 {
+		pid, _ = strconv.Atoi(fields[0])
+	}
+	if len(fields) >= 2 {
+		token = fields[1]
+	}
+	return pid, token
+}
+
+// ownerAlive reports whether the stamped owner still runs: the pid must
+// exist AND, when both sides have a start token, the tokens must match. A
+// live pid with a different token is a recycled pid — the owner is dead.
+func ownerAlive(pid int, token string) bool {
+	if !pidAlive(pid) {
+		return false
+	}
+	if token == "" {
+		return true // legacy stamp: pid is all we have
+	}
+	cur := startToken(pid)
+	if cur == "" {
+		return true // cannot read the incumbent's token: refuse to steal
+	}
+	return cur == token
+}
+
+// pidAlive reports whether a process with the given pid exists.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}
+
+// startToken returns a token identifying one incarnation of a pid: the
+// starttime field (22) of /proc/<pid>/stat, in clock ticks since boot. Two
+// processes can share a pid across a recycle but not a start time. Returns
+// "" where /proc is unreadable (non-Linux, permissions) — callers degrade
+// to pid-only comparison.
+func startToken(pid int) string {
+	raw, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return ""
+	}
+	// Field 2 (comm) may contain spaces; fields count from after its
+	// closing paren. starttime is field 22 overall, field 20 after comm.
+	i := strings.LastIndexByte(string(raw), ')')
+	if i < 0 {
+		return ""
+	}
+	fields := strings.Fields(string(raw[i+1:]))
+	if len(fields) < 20 {
+		return ""
+	}
+	return fields[19]
+}

@@ -1,0 +1,84 @@
+package dirlock
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	dir := t.TempDir()
+	lk, err := Acquire(dir, "x.lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lk.Path()); err != nil {
+		t.Fatalf("lockfile missing: %v", err)
+	}
+	if _, err := Acquire(dir, "x.lock"); err == nil {
+		t.Fatal("second acquire by the live owner should fail")
+	}
+	lk.Release()
+	if _, err := os.Stat(filepath.Join(dir, "x.lock")); !os.IsNotExist(err) {
+		t.Fatalf("lockfile survived release: %v", err)
+	}
+	lk2, err := Acquire(dir, "x.lock")
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	lk2.Release()
+	lk2.Release() // idempotent
+}
+
+func TestStealsDeadPid(t *testing.T) {
+	dir := t.TempDir()
+	// A pid that cannot exist (beyond pid_max on any realistic config).
+	stale := filepath.Join(dir, "x.lock")
+	if err := os.WriteFile(stale, []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := Acquire(dir, "x.lock")
+	if err != nil {
+		t.Fatalf("steal from dead pid: %v", err)
+	}
+	lk.Release()
+}
+
+func TestStealsRecycledPid(t *testing.T) {
+	if startToken(os.Getpid()) == "" {
+		t.Skip("no /proc start tokens on this platform")
+	}
+	dir := t.TempDir()
+	// A live pid (our own) but a start token that cannot match any real
+	// incarnation: the owner pid was recycled, so the lock is stale.
+	stamp := fmt.Sprintf("%d bogus-start-token\n", os.Getpid())
+	if err := os.WriteFile(filepath.Join(dir, "x.lock"), []byte(stamp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := Acquire(dir, "x.lock")
+	if err != nil {
+		t.Fatalf("steal from recycled pid: %v", err)
+	}
+	lk.Release()
+}
+
+func TestRefusesLivePidLegacyStamp(t *testing.T) {
+	dir := t.TempDir()
+	// Legacy pid-only stamp of a live process: no token to disprove
+	// ownership, so the acquire must refuse.
+	stamp := fmt.Sprintf("%d\n", os.Getpid())
+	if err := os.WriteFile(filepath.Join(dir, "x.lock"), []byte(stamp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Acquire(dir, "x.lock"); err == nil {
+		t.Fatal("acquire should refuse a live legacy owner")
+	}
+}
+
+func TestSelfTokenStable(t *testing.T) {
+	a, b := startToken(os.Getpid()), startToken(os.Getpid())
+	if a != b {
+		t.Fatalf("start token not stable: %q vs %q", a, b)
+	}
+}

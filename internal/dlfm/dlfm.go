@@ -21,6 +21,7 @@ import (
 	"datalinks/internal/archive"
 	"datalinks/internal/datalink"
 	"datalinks/internal/fs"
+	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
@@ -82,8 +83,24 @@ type Config struct {
 	TokenTTL time.Duration
 	// RepoLog reuses an existing repository log (restart recovery).
 	RepoLog *wal.Log
-	Metrics *metrics.Registry
+	// RepoDir, when set, puts the repository plane on disk: WAL segments,
+	// the repo.snap checkpoint and the repo.lock single-owner lockfile live
+	// there, and Open cold-starts from whatever the directory holds.
+	RepoDir string
+	// RepoFsync is the repository WAL durability policy; RepoFsyncMaxDelay
+	// the group-commit coalescing window.
+	RepoFsync         fsyncer.Policy
+	RepoFsyncMaxDelay time.Duration
+	// RepoCheckpointBytes triggers automatic repository checkpoints once
+	// this many log bytes accumulate (DefaultRepoCheckpointBytes when 0 and
+	// RepoDir is set).
+	RepoCheckpointBytes int64
+	Metrics             *metrics.Registry
 }
+
+// DefaultRepoCheckpointBytes is the automatic checkpoint trigger for
+// disk-backed repositories when Config.RepoCheckpointBytes is zero.
+const DefaultRepoCheckpointBytes = 1 << 20
 
 // openState tracks one approved open between its open and close upcalls.
 type openState struct {
@@ -212,6 +229,63 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
+// Open starts a DLFM server from its durable state: when RepoDir is set it
+// opens the disk WAL (taking the repo.lock), and either starts fresh (empty
+// directory) or runs full cold-start recovery — repository WAL replay,
+// in-doubt resolution, archive reconciliation, in-flight rollback and file
+// materialization. Without RepoDir it is New. The returned report is nil on
+// a fresh start.
+func Open(cfg Config) (*Server, *RecoveryReport, error) {
+	if cfg.RepoDir == "" {
+		s, err := New(cfg)
+		return s, nil, err
+	}
+	if cfg.RepoCheckpointBytes <= 0 {
+		cfg.RepoCheckpointBytes = DefaultRepoCheckpointBytes
+	}
+	lg, err := wal.Open(wal.Config{
+		Dir:           cfg.RepoDir,
+		Fsync:         cfg.RepoFsync,
+		FsyncMaxDelay: cfg.RepoFsyncMaxDelay,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dlfm: repository log: %w", err)
+	}
+	cfg.RepoLog = lg
+	if lg.TailLSN() == wal.NilLSN && lg.Base() == wal.NilLSN {
+		// Nothing ever logged and nothing checkpointed: a fresh repository.
+		s, err := New(cfg)
+		if err != nil {
+			lg.Close()
+			return nil, nil, err
+		}
+		// Seed repo.snap so a pre-first-checkpoint crash still cold-starts.
+		if _, err := s.repo.Checkpoint(); err != nil {
+			s.Kill()
+			return nil, nil, fmt.Errorf("dlfm: initial checkpoint: %w", err)
+		}
+		return s, nil, nil
+	}
+	s, rep, err := Recover(cfg, lg)
+	if err != nil {
+		lg.Kill()
+		return nil, nil, err
+	}
+	return s, rep, nil
+}
+
+// repoOptions builds the sqlmini options for the repository database.
+func repoOptions(cfg Config) sqlmini.Options {
+	return sqlmini.Options{
+		Clock:           cfg.Clock,
+		Log:             cfg.RepoLog,
+		LockTimeout:     cfg.OpenWait,
+		Metrics:         cfg.Metrics,
+		Dir:             cfg.RepoDir,
+		CheckpointBytes: cfg.RepoCheckpointBytes,
+	}
+}
+
 // New starts a DLFM server with a fresh repository.
 func New(cfg Config) (*Server, error) {
 	if cfg.Phys == nil || cfg.Archive == nil {
@@ -232,7 +306,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	repo := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, Log: cfg.RepoLog, LockTimeout: cfg.OpenWait, Metrics: cfg.Metrics})
+	repo := sqlmini.NewDB(repoOptions(cfg))
 	s := &Server{
 		cfg:      cfg,
 		repo:     repo,
@@ -250,7 +324,9 @@ func New(cfg Config) (*Server, error) {
 	for op := upcall.Op(1); op < upcallOpRange; op++ {
 		s.upcallCtrs[op] = cfg.Metrics.Counter("dlfm.upcall." + op.String())
 	}
-	if cfg.RepoLog == nil {
+	// A truly fresh repository (no pre-existing log records) needs its
+	// schema; a log with history gets its schema from replay/snapshot.
+	if cfg.RepoLog == nil || (cfg.RepoLog.TailLSN() == wal.NilLSN && cfg.RepoLog.Base() == wal.NilLSN) {
 		if err := s.createRepoTables(); err != nil {
 			return nil, err
 		}
@@ -267,45 +343,75 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// repoSchema pairs each repository table with its DDL so first boot can
+// create everything and recovery can fill in whatever a mid-bootstrap crash
+// left missing.
+var repoSchema = []struct {
+	table string
+	ddl   string
+}{
+	// Linked files and the identity needed to undo a takeover.
+	{"dlfm_files", `CREATE TABLE dlfm_files (
+		path VARCHAR PRIMARY KEY,
+		mode VARCHAR NOT NULL,
+		recovery BOOLEAN NOT NULL,
+		token_ttl INT,
+		orig_uid INT NOT NULL,
+		orig_mode INT NOT NULL,
+		cur_version INT NOT NULL
+	)`},
+	// Files with an update transaction in flight (§4.4: "an entry
+	// indicating that the file is being updated").
+	{"dlfm_updates", `CREATE TABLE dlfm_updates (path VARCHAR PRIMARY KEY, open_id INT NOT NULL)`},
+	// Committed versions whose archive copy has not completed yet.
+	{"dlfm_pending_archive", `CREATE TABLE dlfm_pending_archive (path VARCHAR PRIMARY KEY, version INT NOT NULL, state_id INT NOT NULL)`},
+	// Sub-transaction journal for 2PC recovery: one row per file-system
+	// side effect of a link/unlink sub-transaction.
+	{"dlfm_txns", `CREATE TABLE dlfm_txns (
+		id INT PRIMARY KEY,
+		repo_txn INT NOT NULL,
+		host_txn INT NOT NULL,
+		action VARCHAR NOT NULL,
+		path VARCHAR NOT NULL,
+		orig_uid INT NOT NULL,
+		orig_mode INT NOT NULL,
+		recovery BOOLEAN NOT NULL
+	)`},
+}
+
+// Every commit/abort deletes journal rows by host_txn — a non-PK predicate
+// that would otherwise fall back to a full table scan (and row-lock every
+// journal row) on each transaction resolution. Re-creating an existing index
+// is a no-op, so this is safe to exec on every boot path.
+const repoTxnIndexDDL = `CREATE INDEX ON dlfm_txns (host_txn)`
+
 // createRepoTables creates the DLFM repository schema.
 func (s *Server) createRepoTables() error {
-	stmts := []string{
-		// Linked files and the identity needed to undo a takeover.
-		`CREATE TABLE dlfm_files (
-			path VARCHAR PRIMARY KEY,
-			mode VARCHAR NOT NULL,
-			recovery BOOLEAN NOT NULL,
-			token_ttl INT,
-			orig_uid INT NOT NULL,
-			orig_mode INT NOT NULL,
-			cur_version INT NOT NULL
-		)`,
-		// Files with an update transaction in flight (§4.4: "an entry
-		// indicating that the file is being updated").
-		`CREATE TABLE dlfm_updates (path VARCHAR PRIMARY KEY, open_id INT NOT NULL)`,
-		// Committed versions whose archive copy has not completed yet.
-		`CREATE TABLE dlfm_pending_archive (path VARCHAR PRIMARY KEY, version INT NOT NULL, state_id INT NOT NULL)`,
-		// Sub-transaction journal for 2PC recovery: one row per file-system
-		// side effect of a link/unlink sub-transaction.
-		`CREATE TABLE dlfm_txns (
-			id INT PRIMARY KEY,
-			repo_txn INT NOT NULL,
-			host_txn INT NOT NULL,
-			action VARCHAR NOT NULL,
-			path VARCHAR NOT NULL,
-			orig_uid INT NOT NULL,
-			orig_mode INT NOT NULL,
-			recovery BOOLEAN NOT NULL
-		)`,
-		// Every commit/abort deletes journal rows by host_txn — a non-PK
-		// predicate that would otherwise fall back to a full table scan (and
-		// row-lock every journal row) on each transaction resolution.
-		`CREATE INDEX ON dlfm_txns (host_txn)`,
-	}
-	for _, stmt := range stmts {
-		if _, err := s.repo.Exec(stmt); err != nil {
+	for _, t := range repoSchema {
+		if _, err := s.repo.Exec(t.ddl); err != nil {
 			return fmt.Errorf("dlfm: repo schema: %w", err)
 		}
+	}
+	if _, err := s.repo.Exec(repoTxnIndexDDL); err != nil {
+		return fmt.Errorf("dlfm: repo schema: %w", err)
+	}
+	return nil
+}
+
+// ensureRepoTables creates any repository table a crash during first-boot
+// schema creation left missing. Existing tables (the common case after
+// recovery) are untouched.
+func (s *Server) ensureRepoTables() error {
+	for _, t := range repoSchema {
+		if _, err := s.repo.Table(t.table); err == nil {
+			continue
+		}
+		if _, err := s.repo.Exec(t.ddl); err != nil {
+			return fmt.Errorf("dlfm: repo schema repair: %w", err)
+		}
+	}
+	if _, err := s.repo.Exec(repoTxnIndexDDL); err != nil {
+		return fmt.Errorf("dlfm: repo schema repair: %w", err)
 	}
 	return nil
 }
@@ -368,16 +474,44 @@ func (a *Agent) UnlinkFile(hostTxn uint64, path string) error {
 }
 
 // Close waits for background work (archiver goroutines, the quarantine
-// sweeper) to finish.
+// sweeper) to finish. A disk-backed repository takes a final checkpoint and
+// closes its log, so the next Open replays almost nothing.
 func (s *Server) Close() {
 	s.mu.Lock()
 	closed := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	if !closed && s.gcStop != nil {
+	if closed {
+		return
+	}
+	if s.gcStop != nil {
 		close(s.gcStop)
 	}
 	s.wg.Wait()
+	if s.cfg.RepoDir != "" {
+		_, _ = s.repo.Checkpoint() // best effort; the log alone suffices
+		s.repo.Log().Close()
+	}
+}
+
+// Kill simulates the whole process dying (kill -9): nothing is waited for,
+// nothing is flushed, the repository log drops its volatile tail and
+// releases its directory lock. Only what already reached RepoDir and the
+// archive directory survives for the next Open. In-memory servers just
+// close their log.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.closed = true
+	if s.gcStop != nil {
+		select {
+		case <-s.gcStop:
+		default:
+			close(s.gcStop)
+		}
+		s.gcStop = nil
+	}
+	s.mu.Unlock()
+	s.repo.Log().Kill()
 }
 
 // fileInfo is the decoded dlfm_files row.

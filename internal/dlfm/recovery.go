@@ -3,8 +3,10 @@ package dlfm
 import (
 	"errors"
 	"fmt"
+	pathpkg "path"
 
 	"datalinks/internal/archive"
+	"datalinks/internal/extent"
 	"datalinks/internal/fs"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/wal"
@@ -38,6 +40,14 @@ type RecoveryReport struct {
 	ResolvedAbort    []uint64 // host txns resolved as aborted (incl. presumed)
 	RestoredFiles    []string // files rolled back to their last committed version
 	ArchivedVersions []string // committed versions archived during recovery
+	// Cold-start reconciliation: files whose content had to be materialized
+	// from the archive because the physical file system did not survive,
+	// version counters walked back to the newest archived version (the
+	// committed bytes died with the process before archiving finished), and
+	// linked files with no archived copy to materialize from.
+	MaterializedFiles  []string
+	ReconciledVersions []string
+	LostFiles          []string
 }
 
 // Recover rebuilds a DLFM server after a crash. crashedLog is the durable
@@ -45,11 +55,14 @@ type RecoveryReport struct {
 // cfg must reference the same physical file system and archive store, which
 // survive the crash as "disk" state.
 func Recover(cfg Config, crashedLog *wal.Log) (*Server, *RecoveryReport, error) {
-	repo, repoRep, err := sqlmini.Recover(crashedLog, sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.OpenWait, Metrics: cfg.Metrics})
+	cfg.RepoLog = crashedLog
+	if cfg.RepoDir != "" && cfg.RepoCheckpointBytes <= 0 {
+		cfg.RepoCheckpointBytes = DefaultRepoCheckpointBytes
+	}
+	repo, repoRep, err := sqlmini.Recover(crashedLog, repoOptions(cfg))
 	if err != nil {
 		return nil, nil, fmt.Errorf("dlfm: repository recovery: %w", err)
 	}
-	cfg.RepoLog = repo.Log()
 	s, err := New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -57,6 +70,12 @@ func Recover(cfg Config, crashedLog *wal.Log) (*Server, *RecoveryReport, error) 
 	// Adopt the recovered repository in place of the fresh one New made.
 	s.repo = repo
 	rep := &RecoveryReport{Repo: repoRep}
+
+	// A crash in the middle of first-boot schema creation can leave a
+	// half-created repository; fill in whatever is missing.
+	if err := s.ensureRepoTables(); err != nil {
+		return nil, nil, err
+	}
 
 	// The reboot cleared all kernel state on this machine, including the
 	// advisory locks DLFS held for in-flight updates.
@@ -71,6 +90,9 @@ func Recover(cfg Config, crashedLog *wal.Log) (*Server, *RecoveryReport, error) 
 	if err := s.recoverPendingArchives(rep); err != nil {
 		return nil, nil, err
 	}
+	if err := s.materializeMissingFiles(rep); err != nil {
+		return nil, nil, err
+	}
 	if err := s.recoverInFlightUpdates(rep); err != nil {
 		return nil, nil, err
 	}
@@ -78,6 +100,86 @@ func Recover(cfg Config, crashedLog *wal.Log) (*Server, *RecoveryReport, error) 
 		return nil, nil, err
 	}
 	return s, rep, nil
+}
+
+// physExists reports whether path survived on the physical file system —
+// true on a warm restart, usually false after a whole-process kill (the
+// simulated phys lives in RAM).
+func (s *Server) physExists(path string) bool {
+	_, err := s.cfg.Phys.Lookup(path)
+	return err == nil
+}
+
+// reconcileVersionDown walks a file's version counter back to the newest
+// archived version: the committed bytes beyond it died with the process
+// before their archive copy completed, so the archive's view IS the
+// recoverable truth.
+func (s *Server) reconcileVersionDown(fi fileInfo, rep *RecoveryReport) error {
+	versions := s.cfg.Archive.Versions(s.cfg.Name, fi.path)
+	if len(versions) == 0 {
+		return nil // nothing archived; the materialize pass reports the loss
+	}
+	latest := versions[len(versions)-1].Version
+	if latest >= fi.version {
+		return nil
+	}
+	if _, err := s.repo.Exec(`UPDATE dlfm_files SET cur_version = ? WHERE path = ?`,
+		sqlmini.Int(int64(latest)), sqlmini.Str(fi.path)); err != nil {
+		return err
+	}
+	rep.ReconciledVersions = append(rep.ReconciledVersions,
+		fmt.Sprintf("%s: v%d -> v%d", fi.path, fi.version, latest))
+	return nil
+}
+
+// writeRestored writes an archive snapshot to the physical path, creating
+// parent directories first — on a cold-started file system not even the
+// directory tree survived.
+func (s *Server) writeRestored(p string, snap *extent.Snapshot) error {
+	if dir := pathpkg.Dir(p); dir != "" && dir != "/" && dir != "." {
+		if err := s.cfg.Phys.MkdirAll(dir, rootCred, 0o777); err != nil {
+			return fmt.Errorf("dlfm: restore %s: %w", p, err)
+		}
+	}
+	return s.cfg.Phys.WriteFileSnapshot(p, snap)
+}
+
+// materializeMissingFiles restores linked files that no longer exist on the
+// physical file system from their newest archived version — the cold-start
+// counterpart of §4.2's restore, for when the whole machine (not just DLFM)
+// lost its volatile state. Files mid-update are left to the in-flight pass;
+// files with no archived copy are reported lost.
+func (s *Server) materializeMissingFiles(rep *RecoveryReport) error {
+	tbl, err := s.repo.Table("dlfm_files")
+	if err != nil {
+		return err
+	}
+	var missing []fileInfo
+	tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+		fi := decodeFileRow(row)
+		if !s.physExists(fi.path) && !s.hasUpdateEntry(fi.path) {
+			missing = append(missing, fi)
+		}
+		return true
+	})
+	for _, fi := range missing {
+		entry, err := s.cfg.Archive.Latest(s.cfg.Name, fi.path)
+		if err != nil {
+			rep.LostFiles = append(rep.LostFiles, fi.path)
+			continue
+		}
+		snap, err := entry.Snapshot()
+		if err != nil {
+			return fmt.Errorf("dlfm: materialize %s v%d: %w", fi.path, entry.Version, err)
+		}
+		err = s.writeRestored(fi.path, snap)
+		snap.Release()
+		if err != nil {
+			return err
+		}
+		rep.MaterializedFiles = append(rep.MaterializedFiles, fi.path)
+	}
+	return nil
 }
 
 // CrashRepo simulates a DLFM machine crash, returning the durable repository
@@ -189,7 +291,7 @@ func (s *Server) compensateJournal(r journalRow, committed bool, rep *RecoveryRe
 	case "link":
 		if committed {
 			// Eager FS changes stand. Ensure version 0 is archived.
-			if fi, ok := s.lookupFile(r.path); ok && (fi.mode.UpdateManaged() || fi.recovery) {
+			if fi, ok := s.lookupFile(r.path); ok && (fi.mode.UpdateManaged() || fi.recovery) && s.physExists(r.path) {
 				if len(s.cfg.Archive.Versions(s.cfg.Name, r.path)) == 0 {
 					if err := s.archiveCurrent(r.path, 0, s.cfg.Host.StateID()); err != nil {
 						return err
@@ -260,11 +362,24 @@ func (s *Server) recoverPendingArchives(rep *RecoveryReport) error {
 				break
 			}
 		}
-		if !already {
+		switch {
+		case already:
+			// The archiver finished before the crash; only the cleanup of
+			// the pending row was lost.
+		case s.physExists(p.path):
 			if err := s.archiveCurrent(p.path, archive.Version(p.version), uint64(p.stateID)); err != nil {
 				return err
 			}
 			rep.ArchivedVersions = append(rep.ArchivedVersions, fmt.Sprintf("%s@v%d", p.path, p.version))
+		default:
+			// Cold start: the committed bytes lived only on the volatile
+			// file system and were never archived. Walk the counter back to
+			// what the archive actually holds.
+			if fi, ok := s.lookupFile(p.path); ok {
+				if err := s.reconcileVersionDown(fi, rep); err != nil {
+					return err
+				}
+			}
 		}
 		if _, err := s.repo.Exec(`DELETE FROM dlfm_pending_archive WHERE path = ?`, sqlmini.Str(p.path)); err != nil {
 			return err
@@ -292,6 +407,14 @@ func (s *Server) recoverPendingArchives(rep *RecoveryReport) error {
 		// Skip files that are mid-update (their update entry triggers a
 		// restore instead).
 		if s.hasUpdateEntry(fi.path) {
+			continue
+		}
+		if !s.physExists(fi.path) {
+			// Cold start: the bytes for the newer version are gone. Adopt the
+			// archive's newest version as the current one.
+			if err := s.reconcileVersionDown(fi, rep); err != nil {
+				return err
+			}
 			continue
 		}
 		if err := s.archiveCurrent(fi.path, fi.version, s.cfg.Host.StateID()); err != nil {
@@ -344,6 +467,11 @@ func (s *Server) reestablishLinkStates() error {
 	})
 	for _, fi := range all {
 		if err := s.restoreLinkState(fi.path, fi); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// Reported as lost by the materialize pass; nothing at rest
+				// to re-establish.
+				continue
+			}
 			return err
 		}
 	}

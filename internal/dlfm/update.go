@@ -1,6 +1,7 @@
 package dlfm
 
 import (
+	"errors"
 	"fmt"
 	"net/url"
 	"strings"
@@ -385,15 +386,20 @@ func (s *Server) restoreLastCommitted(path string) error {
 	// clocks, coarse clocks) cannot overwrite each other either. The
 	// timestamp stays in the name for operators; expiry uses file mtime.
 	current, err := s.cfg.Phys.SnapshotFile(path)
-	if err != nil {
-		return err
-	}
-	qname := fmt.Sprintf("%s/%s.%d.%06d", s.cfg.Quarantine,
-		url.PathEscape(strings.TrimPrefix(path, "/")),
-		s.cfg.Clock().UnixNano(), s.qseq.Add(1))
-	err = s.cfg.Phys.WriteFileSnapshot(qname, current)
-	current.Release()
-	if err != nil {
+	switch {
+	case err == nil:
+		qname := fmt.Sprintf("%s/%s.%d.%06d", s.cfg.Quarantine,
+			url.PathEscape(strings.TrimPrefix(path, "/")),
+			s.cfg.Clock().UnixNano(), s.qseq.Add(1))
+		err = s.cfg.Phys.WriteFileSnapshot(qname, current)
+		current.Release()
+		if err != nil {
+			return err
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// Cold start: the in-flight bytes died with the machine, so there is
+		// nothing to quarantine — only the committed version to bring back.
+	default:
 		return err
 	}
 	// Restore the last committed version from the archive (paging its
@@ -406,7 +412,7 @@ func (s *Server) restoreLastCommitted(path string) error {
 	if err != nil {
 		return fmt.Errorf("dlfm: materialize %s v%d: %w", path, entry.Version, err)
 	}
-	err = s.cfg.Phys.WriteFileSnapshot(path, snap)
+	err = s.writeRestored(path, snap)
 	snap.Release()
 	if err != nil {
 		return err

@@ -1,18 +1,28 @@
 package sqlmini
 
 import (
+	"errors"
 	"fmt"
 
 	"datalinks/internal/wal"
 )
 
+// ErrOrphanRecord marks a transaction-scoped log record carrying no
+// transaction id — corruption recovery must refuse, not panic over.
+var ErrOrphanRecord = errors.New("sqlmini: transaction-scoped log record with no transaction id")
+
 // RecoveryReport summarizes what restart recovery did.
 type RecoveryReport struct {
 	RecordsScanned int
 	Redone         int
-	LoserTxns      []uint64
-	InDoubtTxns    []uint64
-	CommittedTxns  []uint64
+	// AnchorLSN is where the analysis and redo passes started (NilLSN means
+	// the full log was scanned); SnapshotUsed reports whether a checkpoint
+	// image seeded the catalog.
+	AnchorLSN     wal.LSN
+	SnapshotUsed  bool
+	LoserTxns     []uint64
+	InDoubtTxns   []uint64
+	CommittedTxns []uint64
 }
 
 // Crash simulates a machine failure: the volatile log tail is discarded and
@@ -26,10 +36,27 @@ func (db *DB) Crash() *wal.Log {
 // (classify transactions), redo (replay history), undo (roll back losers).
 // Prepared (in-doubt) transactions are redone, re-locked, and left pending
 // for ResolveInDoubt — the 2PC coordinator decides their fate.
+//
+// Both scanning passes are anchored at the last durable checkpoint: the
+// snapshot image seeds the catalog at the anchor LSN, and only the log tail
+// after it is replayed. Checkpoints are quiescent, so no backchain of a
+// loser or in-doubt transaction reaches below the anchor. Without a
+// checkpoint the passes run from the log's start, as before.
 func Recover(durable *wal.Log, opts Options) (*DB, *RecoveryReport, error) {
 	opts.Log = durable
 	db := NewDB(opts)
 	rep := &RecoveryReport{}
+
+	anchor, err := db.loadCheckpoint(durable, opts.Dir, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if base := durable.Base(); base > anchor {
+		// The log head was truncated past our anchor: the snapshot that
+		// justified that truncation is missing or stale. Refusing beats
+		// silently replaying an incomplete history.
+		return nil, nil, fmt.Errorf("sqlmini: log starts at LSN %d but the checkpoint anchor is %d; snapshot missing or stale", base+1, anchor)
+	}
 
 	// Analysis pass.
 	type txnInfo struct {
@@ -39,13 +66,21 @@ func Recover(durable *wal.Log, opts Options) (*DB, *RecoveryReport, error) {
 	}
 	txns := make(map[uint64]*txnInfo)
 	maxTxn := uint64(0)
-	err := durable.Scan(wal.NilLSN, wal.NilLSN, func(rec wal.Record) bool {
+	var scanErr error
+	err = durable.Scan(anchor+1, wal.NilLSN, func(rec wal.Record) bool {
 		rep.RecordsScanned++
 		if rec.TxnID > maxTxn {
 			maxTxn = rec.TxnID
 		}
+		if rec.TxnID == 0 {
+			if rec.Type != wal.RecCheckpoint {
+				scanErr = fmt.Errorf("%w: %s at LSN %d", ErrOrphanRecord, rec.Type, rec.LSN)
+				return false
+			}
+			return true
+		}
 		ti, ok := txns[rec.TxnID]
-		if !ok && rec.TxnID != 0 {
+		if !ok {
 			ti = &txnInfo{state: TxnActive}
 			txns[rec.TxnID] = ti
 		}
@@ -65,14 +100,22 @@ func Recover(durable *wal.Log, opts Options) (*DB, *RecoveryReport, error) {
 		}
 		return true
 	})
+	if err == nil {
+		err = scanErr
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	db.nextTxn = maxTxn
+	if maxTxn > db.nextTxn {
+		db.nextTxn = maxTxn
+	}
 
-	// Redo pass: replay complete history.
+	// Redo pass: replay the tail after the anchor. The snapshot already
+	// holds every change at or below it, and redo is not idempotent
+	// (InsertAt of an existing row fails), so the anchor gate is what makes
+	// a crash between snapshot rename and log truncation harmless.
 	var redoErr error
-	err = durable.Scan(wal.NilLSN, wal.NilLSN, func(rec wal.Record) bool {
+	err = durable.Scan(anchor+1, wal.NilLSN, func(rec wal.Record) bool {
 		if rec.Type != wal.RecUpdate && rec.Type != wal.RecCLR {
 			return true
 		}
@@ -121,13 +164,60 @@ func Recover(durable *wal.Log, opts Options) (*DB, *RecoveryReport, error) {
 			db.outcome[id] = false
 		}
 	}
-	if _, err := db.log.Append(wal.Record{Type: wal.RecCheckpoint}); err != nil {
-		return nil, nil, err
-	}
 	if _, err := db.log.Flush(); err != nil {
 		return nil, nil, err
 	}
+	// A fresh checkpoint caps what the next restart must replay. Best
+	// effort: in-doubt transactions keep the database non-quiescent, and a
+	// failed snapshot write only postpones the optimization.
+	_, _ = db.Checkpoint()
 	return db, rep, nil
+}
+
+// loadCheckpoint seeds db from the newest durable checkpoint and returns its
+// anchor LSN (NilLSN when no checkpoint exists). Disk-backed databases read
+// repo.snap; in-memory logs carry the snapshot inside the checkpoint record.
+func (db *DB) loadCheckpoint(durable *wal.Log, dir string, rep *RecoveryReport) (wal.LSN, error) {
+	if dir != "" {
+		snap, err := loadSnapFile(dir)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		if snap == nil {
+			return wal.NilLSN, nil
+		}
+		if err := db.applySnapshot(snap); err != nil {
+			return wal.NilLSN, err
+		}
+		rep.AnchorLSN = snap.SnapLSN
+		rep.SnapshotUsed = true
+		return snap.SnapLSN, nil
+	}
+	ck := durable.LastCheckpoint()
+	if ck == wal.NilLSN {
+		return wal.NilLSN, nil
+	}
+	rec, err := durable.Read(ck)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	switch rec.Payload[0] {
+	case ckptEmbedded:
+		snap, err := decodeSnapshot(rec.Payload[1:])
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		if err := db.applySnapshot(snap); err != nil {
+			return wal.NilLSN, err
+		}
+		rep.AnchorLSN = snap.SnapLSN
+		rep.SnapshotUsed = true
+		return snap.SnapLSN, nil
+	case ckptRef:
+		return wal.NilLSN, fmt.Errorf("sqlmini: checkpoint at LSN %d references a disk snapshot but no repository directory is configured", ck)
+	default:
+		return wal.NilLSN, fmt.Errorf("sqlmini: checkpoint at LSN %d has unknown payload kind %#x", ck, rec.Payload[0])
+	}
 }
 
 // redoOne replays a single logged change.

@@ -106,6 +106,12 @@ type DB struct {
 	active  map[uint64]*Txn
 	outcome map[uint64]bool // finished txns: true=committed
 
+	// Checkpointing: dir holds repo.snap (empty = embedded checkpoints),
+	// ckptBytes is the automatic trigger, ckptMu serializes checkpoints.
+	dir       string
+	ckptBytes int64
+	ckptMu    sync.Mutex
+
 	hookMu  sync.RWMutex
 	dmlHook DMLHook
 	fns     map[string]ScalarFn
@@ -119,6 +125,14 @@ type Options struct {
 	// Metrics, when set, receives the lock manager's contention counters
 	// (sqlmini.lock.waits / wait_ns / shard_collisions).
 	Metrics *metrics.Registry
+	// Dir is the repository directory holding the disk WAL segments and the
+	// repo.snap checkpoint snapshot. Empty keeps checkpoints embedded in the
+	// (in-memory) log.
+	Dir string
+	// CheckpointBytes triggers an automatic quiescent checkpoint once this
+	// many log bytes accumulate past the previous one. Zero disables
+	// automatic checkpoints.
+	CheckpointBytes int64
 }
 
 // NewDB creates an empty database.
@@ -131,13 +145,15 @@ func NewDB(opts Options) *DB {
 		lg = wal.New()
 	}
 	db := &DB{
-		cat:     newCatalog(),
-		log:     lg,
-		lm:      NewLockManager(opts.LockTimeout),
-		clock:   opts.Clock,
-		active:  make(map[uint64]*Txn),
-		outcome: make(map[uint64]bool),
-		fns:     make(map[string]ScalarFn),
+		cat:       newCatalog(),
+		log:       lg,
+		lm:        NewLockManager(opts.LockTimeout),
+		clock:     opts.Clock,
+		active:    make(map[uint64]*Txn),
+		outcome:   make(map[uint64]bool),
+		fns:       make(map[string]ScalarFn),
+		dir:       opts.Dir,
+		ckptBytes: opts.CheckpointBytes,
 	}
 	if opts.Metrics != nil {
 		db.lm.AttachMetrics(
@@ -529,6 +545,7 @@ func (t *Txn) finish(committed bool) {
 	t.db.outcome[t.id] = committed
 	t.db.mu.Unlock()
 	t.db.lm.ReleaseAll(t.id)
+	t.db.maybeCheckpoint()
 }
 
 // undoOne reverses a single logged change, writing a CLR.

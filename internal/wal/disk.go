@@ -1,0 +1,503 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"datalinks/internal/dirlock"
+	"datalinks/internal/fsyncer"
+)
+
+// Disk layout: the log directory holds size-bounded segment files named
+// wal-<first LSN>.log, each a concatenation of CRC-framed records:
+//
+//	uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// where the payload is uvarint LSN, one type byte, uvarint TxnID, uvarint
+// PrevLSN, uvarint UndoLSN, then the record payload. A reopen replays the
+// segments in LSN order and keeps the longest valid prefix: the first frame
+// that fails its length bound, CRC, decode, or LSN-continuity check marks
+// the torn tail, which is appended to the wal.torn quarantine file and
+// truncated away — the catalog.log / pack-<seq>.pk discipline. The same
+// directory carries repo.snap (the sqlmini checkpoint snapshot) and the
+// repo.lock single-owner lockfile.
+const (
+	// DefaultSegmentBytes bounds a segment before the log rotates to a new
+	// file; whole sealed segments below the checkpoint anchor are deleted by
+	// TruncateHead.
+	DefaultSegmentBytes = 4 << 20
+	// maxRecordBytes is a sanity bound on a framed payload: anything larger
+	// in a length header is corruption, not a record.
+	maxRecordBytes = 64 << 20
+
+	repoLockName = "repo.lock"
+	tornName     = "wal.torn"
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+)
+
+// Config describes a disk-backed log directory.
+type Config struct {
+	// Dir is the log directory; created if missing, locked while open.
+	Dir string
+	// SegmentBytes bounds each segment file (DefaultSegmentBytes when 0).
+	SegmentBytes int64
+	// Fsync selects the durability policy for Flush/FlushTo.
+	Fsync fsyncer.Policy
+	// FsyncMaxDelay is the group-commit coalescing window under PolicyGroup.
+	FsyncMaxDelay time.Duration
+}
+
+type segInfo struct {
+	first LSN // LSN of the segment's first record
+	path  string
+}
+
+// diskLog is the stable-storage side of a Log. The pending buffer and the
+// written watermark are guarded by the owning Log's mu; the file handle and
+// segment list by fileMu (lock order: mu before fileMu), so the fsyncer's
+// flush callback can sync the active segment without blocking appends.
+type diskLog struct {
+	cfg       Config
+	lock      *dirlock.Lock
+	sync      *fsyncer.Syncer
+	pending   []byte // frames appended since the last write (under Log.mu)
+	written   LSN    // highest LSN whose frame reached the file (under Log.mu)
+	tornBytes int64  // bytes quarantined to wal.torn at open
+
+	fileMu  sync.Mutex
+	seg     *os.File // active (last) segment
+	segSize int64
+	segs    []segInfo
+}
+
+// Open opens (or creates) a disk-backed log directory, taking single
+// ownership of it, replaying the longest valid record prefix and
+// quarantining any torn tail.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: Config.Dir is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := dirlock.Acquire(cfg.Dir, repoLockName)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	d := &diskLog{cfg: cfg, lock: lock}
+	l := &Log{disk: d}
+	if err := d.replay(l); err != nil {
+		lock.Release()
+		return nil, err
+	}
+	d.sync = fsyncer.New(cfg.Fsync, cfg.FsyncMaxDelay, d.flushActive, nil)
+	return l, nil
+}
+
+// replay loads every segment into l and repairs the tail.
+func (d *diskLog) replay(l *Log) error {
+	segs, err := listSegments(d.cfg.Dir)
+	if err != nil {
+		return err
+	}
+
+	var (
+		recs    []Record
+		base    LSN
+		next    LSN
+		tornIdx = -1 // first segment holding invalid bytes
+		tornOff int64
+	)
+	for i, s := range segs {
+		if i == 0 {
+			base = s.first - 1
+			next = s.first
+		} else if s.first != next {
+			// Gap or overlap between segments: everything from here on is
+			// not a continuation of the valid prefix.
+			tornIdx, tornOff = i, 0
+			break
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		valid, fileRecs := decodeFrames(data, next)
+		recs = append(recs, fileRecs...)
+		next += LSN(len(fileRecs))
+		if valid < int64(len(data)) {
+			tornIdx, tornOff = i, valid
+			break
+		}
+	}
+
+	if tornIdx >= 0 {
+		if err := d.repairTail(segs, tornIdx, tornOff); err != nil {
+			return err
+		}
+		if tornOff > 0 {
+			segs = segs[:tornIdx+1]
+		} else {
+			segs = segs[:tornIdx]
+		}
+	}
+
+	// Open (or create) the active segment.
+	if len(segs) == 0 {
+		first := base + LSN(len(recs)) + 1
+		path := filepath.Join(d.cfg.Dir, segName(first))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if d.cfg.Fsync != fsyncer.PolicyNone {
+			syncDir(d.cfg.Dir)
+		}
+		segs = []segInfo{{first: first, path: path}}
+		d.seg, d.segSize = f, 0
+	} else {
+		active := segs[len(segs)-1]
+		f, err := os.OpenFile(active.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		d.seg, d.segSize = f, size
+	}
+	d.segs = segs
+	d.written = base + LSN(len(recs))
+
+	l.base = base
+	l.records = recs
+	l.flushed = d.written
+	since := int64(0)
+	for _, r := range recs {
+		if r.Type == RecCheckpoint && len(r.Payload) > 0 {
+			since = 0
+		} else {
+			since += int64(len(r.Payload)) + recOverheadBytes
+		}
+	}
+	l.sizeSinceCkpt = since
+	return nil
+}
+
+// repairTail quarantines segs[tornIdx:] starting at tornOff into wal.torn,
+// truncates the torn segment to its valid prefix and deletes the rest.
+func (d *diskLog) repairTail(segs []segInfo, tornIdx int, tornOff int64) error {
+	tf, err := os.OpenFile(filepath.Join(d.cfg.Dir, tornName),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer tf.Close()
+	for i := tornIdx; i < len(segs); i++ {
+		data, rerr := os.ReadFile(segs[i].path)
+		if rerr != nil {
+			return fmt.Errorf("wal: %w", rerr)
+		}
+		start := int64(0)
+		if i == tornIdx {
+			start = tornOff
+		}
+		if int64(len(data)) > start {
+			if _, werr := tf.Write(data[start:]); werr != nil {
+				return fmt.Errorf("wal: quarantining torn tail: %w", werr)
+			}
+			d.tornBytes += int64(len(data)) - start
+		}
+		if i == tornIdx && tornOff > 0 {
+			if terr := os.Truncate(segs[i].path, tornOff); terr != nil {
+				return fmt.Errorf("wal: %w", terr)
+			}
+		} else if rmerr := os.Remove(segs[i].path); rmerr != nil {
+			return fmt.Errorf("wal: %w", rmerr)
+		}
+	}
+	tf.Sync()
+	syncDir(d.cfg.Dir)
+	return nil
+}
+
+// flushActive is the fsyncer callback: sync the active segment. Sealed
+// segments were synced at rotation, so the active file is the only one with
+// bytes possibly outside stable storage.
+func (d *diskLog) flushActive() error {
+	d.fileMu.Lock()
+	defer d.fileMu.Unlock()
+	if d.seg == nil {
+		return nil
+	}
+	return d.seg.Sync()
+}
+
+// writePendingLocked moves the buffered frames into the active segment,
+// rotating first if the segment is full. Caller holds l.mu.
+func (l *Log) writePendingLocked() error {
+	d := l.disk
+	if len(d.pending) == 0 {
+		return nil
+	}
+	d.fileMu.Lock()
+	defer d.fileMu.Unlock()
+	if d.seg == nil {
+		return ErrClosed
+	}
+	if d.segSize >= d.cfg.SegmentBytes {
+		if err := d.rotateLocked(d.written + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := d.seg.Write(d.pending); err != nil {
+		// Rewind any partial write so the frame stream stays aligned;
+		// pending is kept intact for a retry.
+		d.seg.Truncate(d.segSize)
+		d.seg.Seek(d.segSize, io.SeekStart)
+		return fmt.Errorf("wal: writing %s: %w", d.segs[len(d.segs)-1].path, err)
+	}
+	d.segSize += int64(len(d.pending))
+	d.written = l.base + LSN(len(l.records))
+	d.pending = d.pending[:0]
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one whose first
+// record will be `first`. Caller holds l.mu and d.fileMu.
+func (d *diskLog) rotateLocked(first LSN) error {
+	if d.cfg.Fsync != fsyncer.PolicyNone {
+		// Seal the outgoing segment so the flush callback only ever needs
+		// to sync the active one.
+		if err := d.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+	}
+	path := filepath.Join(d.cfg.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if d.cfg.Fsync != fsyncer.PolicyNone {
+		syncDir(d.cfg.Dir)
+	}
+	d.seg.Close()
+	d.seg = f
+	d.segSize = 0
+	d.segs = append(d.segs, segInfo{first: first, path: path})
+	return nil
+}
+
+// TruncateHead discards log records below keepFrom, the checkpoint anchor's
+// successor. The disk backend deletes only whole sealed segments — the
+// active segment keeps any pre-anchor records it holds, so recovery always
+// re-reads a few records below the anchor and the sequence gate is what
+// prevents double-apply. The in-memory backend trims exactly.
+func (l *Log) TruncateHead(keepFrom LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if keepFrom > l.flushed+1 {
+		keepFrom = l.flushed + 1
+	}
+	if keepFrom <= l.base+1 {
+		return nil
+	}
+	if l.disk == nil {
+		newBase := keepFrom - 1
+		l.records = append([]Record(nil), l.records[newBase-l.base:]...)
+		l.base = newBase
+		return nil
+	}
+	d := l.disk
+	d.fileMu.Lock()
+	defer d.fileMu.Unlock()
+	keep := 0
+	for keep+1 < len(d.segs) && d.segs[keep+1].first <= keepFrom {
+		keep++
+	}
+	if keep == 0 {
+		return nil
+	}
+	for i := 0; i < keep; i++ {
+		os.Remove(d.segs[i].path)
+	}
+	if d.cfg.Fsync != fsyncer.PolicyNone {
+		syncDir(d.cfg.Dir)
+	}
+	d.segs = append([]segInfo(nil), d.segs[keep:]...)
+	newBase := d.segs[0].first - 1
+	l.records = append([]Record(nil), l.records[newBase-l.base:]...)
+	l.base = newBase
+	return nil
+}
+
+// Dir returns the disk backend's directory ("" for the in-memory backend).
+func (l *Log) Dir() string {
+	if l.disk == nil {
+		return ""
+	}
+	return l.disk.cfg.Dir
+}
+
+// TornBytes reports how many bytes the open-time repair quarantined.
+func (l *Log) TornBytes() int64 {
+	if l.disk == nil {
+		return 0
+	}
+	return l.disk.tornBytes
+}
+
+// SyncCount reports physical fsyncs issued by the disk backend.
+func (l *Log) SyncCount() int64 {
+	if l.disk == nil {
+		return 0
+	}
+	return l.disk.sync.Count()
+}
+
+// listSegments returns the directory's wal-<first>.log files in LSN order.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numeral := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, perr := strconv.ParseUint(numeral, 10, 64)
+		if perr != nil || first == 0 {
+			return nil, fmt.Errorf("wal: bad segment name %q", name)
+		}
+		segs = append(segs, segInfo{first: LSN(first), path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+func segName(first LSN) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, uint64(first), segSuffix)
+}
+
+// syncDir forces directory metadata (created/removed segment names) to disk.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// appendFrame encodes rec as one CRC frame onto buf.
+func appendFrame(buf []byte, rec Record) []byte {
+	payload := encodeRecord(rec)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// encodeRecord serializes the record header fields and payload.
+func encodeRecord(rec Record) []byte {
+	buf := make([]byte, 0, 4*binary.MaxVarintLen64+1+len(rec.Payload))
+	buf = binary.AppendUvarint(buf, uint64(rec.LSN))
+	buf = append(buf, byte(rec.Type))
+	buf = binary.AppendUvarint(buf, rec.TxnID)
+	buf = binary.AppendUvarint(buf, uint64(rec.PrevLSN))
+	buf = binary.AppendUvarint(buf, uint64(rec.UndoLSN))
+	return append(buf, rec.Payload...)
+}
+
+var errShortRecord = errors.New("wal: truncated record payload")
+
+// decodeRecord is the inverse of encodeRecord. The payload is copied so the
+// record does not alias the segment read buffer.
+func decodeRecord(b []byte) (Record, error) {
+	var rec Record
+	lsn, n := binary.Uvarint(b)
+	if n <= 0 {
+		return rec, errShortRecord
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return rec, errShortRecord
+	}
+	rec.Type = RecType(b[0])
+	b = b[1:]
+	txn, n := binary.Uvarint(b)
+	if n <= 0 {
+		return rec, errShortRecord
+	}
+	b = b[n:]
+	prev, n := binary.Uvarint(b)
+	if n <= 0 {
+		return rec, errShortRecord
+	}
+	b = b[n:]
+	undo, n := binary.Uvarint(b)
+	if n <= 0 {
+		return rec, errShortRecord
+	}
+	b = b[n:]
+	rec.LSN = LSN(lsn)
+	rec.TxnID = txn
+	rec.PrevLSN = LSN(prev)
+	rec.UndoLSN = LSN(undo)
+	if len(b) > 0 {
+		rec.Payload = append([]byte(nil), b...)
+	}
+	return rec, nil
+}
+
+// decodeFrames walks the frame stream, returning the length of the valid
+// prefix and its records. `next` is the LSN the first record must carry;
+// any length, CRC, decode, or sequence anomaly ends the valid prefix.
+func decodeFrames(data []byte, next LSN) (valid int64, recs []Record) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return int64(off), recs
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || int64(n) > maxRecordBytes {
+			return int64(off), recs
+		}
+		if len(data)-off-8 < int(n) {
+			return int64(off), recs
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(off), recs
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil || rec.LSN != next {
+			return int64(off), recs
+		}
+		recs = append(recs, rec)
+		next++
+		off += 8 + int(n)
+	}
+}

@@ -2,17 +2,22 @@
 // backchaining, group flush, and crash simulation. Both the host database
 // (internal/sqlmini) and the DLFM repository log through this package.
 //
-// The log models stable storage explicitly: records appended with Append are
-// buffered and volatile until Flush (or an Append with the force flag) makes
-// them durable. Crash() discards the volatile tail, exactly what a power
-// failure would do, which lets recovery tests exercise every interleaving of
-// "logged but not forced".
+// The log has two backends. The in-memory backend (New) models stable
+// storage explicitly: records appended with Append are buffered and volatile
+// until Flush makes them durable, and Crash() discards the volatile tail,
+// exactly what a power failure would do — recovery tests exercise every
+// interleaving of "logged but not forced". The disk backend (Open) puts the
+// same record stream in CRC-framed, size-bounded segment files under a
+// locked directory, with Flush/FlushTo routed through an fsyncer policy; a
+// reopen replays the longest valid prefix and quarantines any torn tail.
 package wal
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"datalinks/internal/fsyncer"
 )
 
 // LSN is a log sequence number. LSNs start at 1; 0 means "nil LSN".
@@ -76,15 +81,25 @@ type Record struct {
 var ErrClosed = errors.New("wal: log closed")
 
 // Log is an append-only write-ahead log. Safe for concurrent use.
+//
+// After a checkpoint truncates the head (TruncateHead), records below the
+// base LSN are gone: Read and Scan serve only (base, tail]. Recovery anchors
+// at the checkpoint, so it never asks for the truncated prefix.
 type Log struct {
 	mu       sync.Mutex
-	records  []Record // records[i] has LSN i+1
+	base     LSN      // records[i] has LSN base+i+1
+	records  []Record // the retained tail of the log
 	flushed  LSN      // highest durable LSN
 	closed   bool
 	flushCnt int64
+	// sizeSinceCkpt approximates log bytes appended since the last
+	// checkpoint record — the trigger for the next one.
+	sizeSinceCkpt int64
+
+	disk *diskLog // nil = in-memory backend
 }
 
-// New returns an empty log.
+// New returns an empty in-memory log.
 func New() *Log { return &Log{} }
 
 // Append adds a record to the log buffer and returns its LSN. The record is
@@ -95,7 +110,7 @@ func (l *Log) Append(rec Record) (LSN, error) {
 	if l.closed {
 		return NilLSN, ErrClosed
 	}
-	rec.LSN = LSN(len(l.records) + 1)
+	rec.LSN = l.base + LSN(len(l.records)) + 1
 	// Copy the payload so the caller may reuse its buffer.
 	if rec.Payload != nil {
 		p := make([]byte, len(rec.Payload))
@@ -103,35 +118,89 @@ func (l *Log) Append(rec Record) (LSN, error) {
 		rec.Payload = p
 	}
 	l.records = append(l.records, rec)
+	if rec.Type == RecCheckpoint && len(rec.Payload) > 0 {
+		l.sizeSinceCkpt = 0
+	} else {
+		l.sizeSinceCkpt += int64(len(rec.Payload)) + recOverheadBytes
+	}
+	if l.disk != nil {
+		l.disk.pending = appendFrame(l.disk.pending, rec)
+	}
 	return rec.LSN, nil
 }
+
+// recOverheadBytes is the accounted per-record framing cost.
+const recOverheadBytes = 16
 
 // Flush makes every appended record durable and returns the tail LSN.
 func (l *Log) Flush() (LSN, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return NilLSN, ErrClosed
 	}
-	l.flushed = LSN(len(l.records))
-	l.flushCnt++
-	return l.flushed, nil
+	target := l.base + LSN(len(l.records))
+	if l.disk != nil {
+		if err := l.writePendingLocked(); err != nil {
+			l.mu.Unlock()
+			return NilLSN, err
+		}
+	}
+	if target > l.flushed {
+		l.flushed = target
+		l.flushCnt++
+	}
+	d := l.disk
+	l.mu.Unlock()
+	if d != nil {
+		if err := d.sync.AfterWrite(); err != nil {
+			return NilLSN, err
+		}
+		if err := d.sync.Barrier(); err != nil {
+			return NilLSN, err
+		}
+	}
+	return target, nil
 }
 
 // FlushTo makes records up to and including lsn durable. Flushing an LSN that
-// is already durable is a no-op (group commit piggybacking).
+// is already durable is a no-op (group commit piggybacking). On the disk
+// backend the whole buffered tail is written (frames are cheap to write; the
+// fsync barrier is the expensive part and covers exactly the caller's LSN).
 func (l *Log) FlushTo(lsn LSN) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if lsn > LSN(len(l.records)) {
-		return fmt.Errorf("wal: flush to %d beyond tail %d", lsn, len(l.records))
+	if lsn > l.base+LSN(len(l.records)) {
+		tail := l.base + LSN(len(l.records))
+		l.mu.Unlock()
+		return fmt.Errorf("wal: flush to %d beyond tail %d", lsn, tail)
 	}
-	if lsn > l.flushed {
-		l.flushed = lsn
+	needSync := lsn > l.flushed
+	if l.disk != nil && needSync {
+		if err := l.writePendingLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	if needSync {
+		l.flushed = l.base + LSN(len(l.records))
+		if lsn > l.flushed {
+			l.flushed = lsn
+		}
 		l.flushCnt++
+	}
+	d := l.disk
+	l.mu.Unlock()
+	if d != nil && needSync {
+		if err := d.sync.AfterWrite(); err != nil {
+			return err
+		}
+		if err := d.sync.Barrier(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -140,7 +209,15 @@ func (l *Log) FlushTo(lsn LSN) error {
 func (l *Log) TailLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return LSN(len(l.records))
+	return l.base + LSN(len(l.records))
+}
+
+// Base returns the LSN below which records have been truncated away by a
+// checkpoint (NilLSN when the full history is retained).
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
 }
 
 // DurableLSN returns the highest LSN guaranteed to survive a crash.
@@ -150,7 +227,7 @@ func (l *Log) DurableLSN() LSN {
 	return l.flushed
 }
 
-// FlushCount reports how many physical flushes have been issued; benchmarks
+// FlushCount reports how many logical flushes have been issued; benchmarks
 // use it to show group-commit batching.
 func (l *Log) FlushCount() int64 {
 	l.mu.Lock()
@@ -158,69 +235,162 @@ func (l *Log) FlushCount() int64 {
 	return l.flushCnt
 }
 
+// SizeSinceCheckpoint approximates the log bytes appended since the last
+// checkpoint record — the checkpoint-trigger odometer.
+func (l *Log) SizeSinceCheckpoint() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sizeSinceCkpt
+}
+
+// SyncPolicy reports the disk backend's fsync policy (PolicyNone in memory).
+func (l *Log) SyncPolicy() fsyncer.Policy {
+	if l.disk == nil {
+		return fsyncer.PolicyNone
+	}
+	return l.disk.sync.Policy()
+}
+
+// LastCheckpoint returns the LSN of the newest durable checkpoint record
+// that carries a payload (an anchor), or NilLSN.
+func (l *Log) LastCheckpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := int(l.flushed - l.base); i > 0; i-- {
+		r := l.records[i-1]
+		if r.Type == RecCheckpoint && len(r.Payload) > 0 {
+			return r.LSN
+		}
+	}
+	return NilLSN
+}
+
 // Read returns the record at the given LSN.
 func (l *Log) Read(lsn LSN) (Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn == NilLSN || lsn > LSN(len(l.records)) {
-		return Record{}, fmt.Errorf("wal: no record at LSN %d", lsn)
+	if lsn == NilLSN || lsn > l.base+LSN(len(l.records)) || lsn <= l.base {
+		return Record{}, fmt.Errorf("wal: no record at LSN %d (log covers %d..%d)", lsn, l.base+1, l.base+LSN(len(l.records)))
 	}
-	return l.records[lsn-1], nil
+	return l.records[lsn-l.base-1], nil
 }
 
 // Scan calls fn on every record in [from, to] in LSN order. A zero `to`
-// means the current tail. Scanning stops early if fn returns false.
+// means the current tail; a `from` at or below the truncated base is clamped
+// to the first retained record. Scanning stops early if fn returns false.
 func (l *Log) Scan(from, to LSN, fn func(Record) bool) error {
 	l.mu.Lock()
 	recs := l.records
-	tail := LSN(len(recs))
+	base := l.base
+	tail := base + LSN(len(recs))
 	l.mu.Unlock()
-	if from == NilLSN {
-		from = 1
+	if from <= base {
+		from = base + 1
 	}
 	if to == NilLSN || to > tail {
 		to = tail
 	}
 	for lsn := from; lsn <= to; lsn++ {
-		if !fn(recs[lsn-1]) {
+		if !fn(recs[lsn-base-1]) {
 			return nil
 		}
 	}
 	return nil
 }
 
-// Prefix returns a new, fully durable log holding the records with LSN <= to.
-// Point-in-time restore rebuilds a database from such a prefix (§4.4 of the
-// paper: restore the database to a previous state, then restore the files
-// according to the restored state identifier).
+// Prefix returns a new, fully durable in-memory log holding the records with
+// LSN <= to. Point-in-time restore rebuilds a database from such a prefix
+// (§4.4 of the paper: restore the database to a previous state, then restore
+// the files according to the restored state identifier).
 func (l *Log) Prefix(to LSN) *Log {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if to > LSN(len(l.records)) {
-		to = LSN(len(l.records))
+	if to > l.base+LSN(len(l.records)) {
+		to = l.base + LSN(len(l.records))
+	}
+	if to < l.base {
+		to = l.base
 	}
 	return &Log{
-		records: append([]Record(nil), l.records[:to]...),
+		base:    l.base,
+		records: append([]Record(nil), l.records[:to-l.base]...),
 		flushed: to,
 	}
 }
 
-// Crash simulates a machine failure: it returns a new Log containing only the
-// durable prefix and marks the original closed so stray writers error out.
+// Crash simulates a machine failure and restart. The in-memory backend
+// returns a new Log containing only the durable prefix. The disk backend
+// drops its unwritten tail, closes its files, releases the directory lock
+// and reopens the directory — the returned log holds whatever the "disk"
+// (the OS page cache included; this is a process kill, not a power cut)
+// retained. The original log is closed either way.
 func (l *Log) Crash() *Log {
 	l.mu.Lock()
+	if l.disk != nil {
+		cfg := l.disk.cfg
+		l.killLocked()
+		l.mu.Unlock()
+		reopened, err := Open(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("wal: reopen after crash: %v", err))
+		}
+		return reopened
+	}
 	defer l.mu.Unlock()
 	l.closed = true
-	recovered := &Log{
-		records: append([]Record(nil), l.records[:l.flushed]...),
+	return &Log{
+		base:    l.base,
+		records: append([]Record(nil), l.records[:l.flushed-l.base]...),
 		flushed: l.flushed,
 	}
-	return recovered
 }
 
-// Close marks the log closed. Further appends fail.
+// Kill simulates the process dying without a successor in hand: buffered
+// records are dropped, files close, the directory lock is released, and the
+// log is closed. A later Open over the same directory cold-starts from what
+// reached the file system.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.killLocked()
+}
+
+// killLocked is Kill under l.mu.
+func (l *Log) killLocked() {
+	l.closed = true
+	if d := l.disk; d != nil {
+		d.pending = nil
+		d.fileMu.Lock()
+		if d.seg != nil {
+			d.seg.Close()
+			d.seg = nil
+		}
+		d.fileMu.Unlock()
+		d.lock.Release()
+	}
+}
+
+// Close marks the log closed. The disk backend first writes its buffered
+// tail (and syncs it under a syncing policy) so a clean shutdown loses
+// nothing, then releases the directory lock. Further appends fail.
 func (l *Log) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if d := l.disk; d != nil {
+		_ = l.writePendingLocked()
+		d.fileMu.Lock()
+		if d.seg != nil {
+			if d.sync.Policy() != fsyncer.PolicyNone {
+				_ = d.seg.Sync()
+			}
+			d.seg.Close()
+			d.seg = nil
+		}
+		d.fileMu.Unlock()
+		d.lock.Release()
+	}
 	l.closed = true
 }
