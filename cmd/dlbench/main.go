@@ -58,6 +58,7 @@ func main() {
 		servers  = flag.Int("servers", 0, "E13: number of file servers")
 		ops      = flag.Int("ops", 0, "E13: operations per session")
 		upcallMs = flag.Duration("upcall-latency", -1, "E13: simulated DLFS→DLFM IPC latency (e.g. 200us)")
+		netMode  = flag.Bool("net", false, "E13: route upcalls over real TCP sockets and report per-op latency percentiles")
 		filesize = flag.Int("filesize", 0, "E14: linked file size in MiB")
 		edits    = flag.Int("edits", 0, "E14: edits committed per session")
 		editsize = flag.Int("editsize", 0, "E14: edit size in KiB")
@@ -89,6 +90,12 @@ func main() {
 		e18ckpt  = flag.Int("e18-ckpt", 0, "E18: repository checkpoint interval in KiB")
 		e18dir   = flag.String("e18-dir", "", "E18: durable root holding repo/ and archive/; if it already holds E18 state, the run only cold-serves and verifies it (default: private temp dir)")
 		e18fsync = flag.String("e18-fsync", "", "E18: repo + archive fsync policy (none|group|always)")
+		e20sess  = flag.Int("e20-sessions", 0, "E20: concurrent client sessions")
+		e20ops   = flag.Int("e20-ops", 0, "E20: update attempts per session")
+		e20drop  = flag.Float64("e20-drop", -1, "E20: per-message drop probability (0..1)")
+		e20reset = flag.Float64("e20-reset", -1, "E20: per-message connection-reset probability (0..1)")
+		e20delay = flag.Float64("e20-delay", -1, "E20: per-message delay probability (0..1)")
+		e20seed  = flag.Int64("e20-seed", 0, "E20: chaos PRNG seed (nonzero)")
 	)
 	flag.Parse()
 
@@ -112,6 +119,9 @@ func main() {
 	}
 	if *upcallMs >= 0 {
 		harness.ConcurrencyUpcallLatency = *upcallMs
+	}
+	if *netMode {
+		harness.ConcurrencyNet = true
 	}
 	if *filesize > 0 {
 		harness.LargeFileSizeMB = *filesize
@@ -205,6 +215,24 @@ func main() {
 	}
 	if *e18fsync != "" {
 		harness.ColdFsync = *e18fsync
+	}
+	if *e20sess > 0 {
+		harness.ChaosSessions = *e20sess
+	}
+	if *e20ops > 0 {
+		harness.ChaosOps = *e20ops
+	}
+	if *e20drop >= 0 {
+		harness.ChaosDropProb = *e20drop
+	}
+	if *e20reset >= 0 {
+		harness.ChaosResetProb = *e20reset
+	}
+	if *e20delay >= 0 {
+		harness.ChaosDelayProb = *e20delay
+	}
+	if *e20seed != 0 {
+		harness.ChaosSeed = *e20seed
 	}
 
 	if *list {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"datalinks/internal/archive"
@@ -48,10 +49,16 @@ func (h *standaloneHost) StateID() uint64                { return h.state }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7707", "listen address for the upcall service")
-		name     = flag.String("name", "fs1", "file server name")
-		key      = flag.String("key", "datalinks-shared-secret", "token key shared with the engine")
-		selftest = flag.Bool("selftest", false, "issue a token and validate it over TCP, then exit")
+		addr         = flag.String("addr", "127.0.0.1:7707", "listen address for the upcall service")
+		name         = flag.String("name", "fs1", "file server name")
+		key          = flag.String("key", "datalinks-shared-secret", "token key shared with the engine")
+		selftest     = flag.Bool("selftest", false, "issue a token and validate it over TCP, then exit")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM; exceeding it exits nonzero")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent upcall connections (0: default)")
+		window       = flag.Int("window", 0, "max in-flight requests per connection (0: default)")
+		maxInflight  = flag.Int("max-inflight", 0, "max in-flight requests across all connections (0: default)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "evict connections idle this long (0: never)")
+		ioTimeout    = flag.Duration("io-timeout", 0, "per-frame read/write deadline (0: default)")
 	)
 	var seeds seedList
 	flag.Var(&seeds, "seed", "seed file as path=content (repeatable)")
@@ -76,7 +83,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	server, bound, err := upcall.Serve(srv, *addr)
+	server, bound, err := upcall.ServeConfig(srv, *addr, upcall.ServerConfig{
+		MaxConns:     *maxConns,
+		Window:       *window,
+		MaxInflight:  *maxInflight,
+		IdleTimeout:  *idleTimeout,
+		FrameTimeout: *ioTimeout,
+		WriteTimeout: *ioTimeout,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -103,11 +117,18 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("dlfmd: shutting down")
-	server.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("dlfmd: %v received, draining (up to %v)\n", s, *drainTimeout)
+	if err := server.Drain(*drainTimeout); err != nil {
+		// In-flight work did not finish in time; connections were closed
+		// hard. Report the dirty shutdown to the supervisor.
+		fmt.Fprintln(os.Stderr, "dlfmd:", err)
+		srv.Close()
+		os.Exit(2)
+	}
 	srv.Close()
+	fmt.Println("dlfmd: drained cleanly")
 }
 
 type seed struct{ path, content string }

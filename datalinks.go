@@ -51,6 +51,7 @@ import (
 	"datalinks/internal/dlfm"
 	"datalinks/internal/fs"
 	"datalinks/internal/sqlmini"
+	"datalinks/internal/upcall"
 )
 
 // ServerConfig configures one file server of a System.
@@ -69,6 +70,10 @@ type ServerConfig struct {
 	// TCPUpcalls runs the DLFS↔DLFM channel over a real TCP loopback
 	// connection, matching the kernel/daemon process split of the paper.
 	TCPUpcalls bool
+	// UpcallNet tunes the TCP upcall plane — client retry/backoff/deadlines
+	// and circuit breaker, server backpressure limits and drain, optional
+	// fault injection (nil: production defaults).
+	UpcallNet *upcall.NetConfig
 	// ArchiveDir enables the durable archive tier: committed versions'
 	// chunks persist to this directory and only a bounded LRU stays in
 	// memory. Empty keeps the archive memory-only.
@@ -152,6 +157,7 @@ func Open(cfg Config) (*System, error) {
 			Strict:                 s.Strict,
 			OpenWait:               s.OpenWait,
 			TCPUpcalls:             s.TCPUpcalls,
+			UpcallNet:              s.UpcallNet,
 			ArchiveDir:             s.ArchiveDir,
 			ArchiveMemoryBudget:    s.ArchiveMemoryBudget,
 			ArchiveGCInterval:      s.ArchiveGCInterval,

@@ -42,6 +42,11 @@ type ServerConfig struct {
 	// connection (gob-encoded), matching the kernel/daemon process split of
 	// Figure 1, instead of direct in-process calls.
 	TCPUpcalls bool
+	// UpcallNet tunes the TCP upcall plane: client retry/backoff/deadlines/
+	// breaker and server backpressure limits, plus an optional Chaos fault
+	// injector (nil: production defaults). With TCPUpcalls unset, only the
+	// Chaos injector applies (wrapped around the in-process service).
+	UpcallNet *upcall.NetConfig
 	// ArchiveDir enables the durable archive tier: sealed chunks persist to
 	// this real directory (hash-addressed) and only a bounded LRU of hot
 	// chunks stays in memory. Empty keeps the archive memory-only.
@@ -120,6 +125,15 @@ type FileServer struct {
 	tcpServer *upcall.Server
 	tcpClient *upcall.Client
 }
+
+// UpcallServer exposes the TCP upcall server (nil for in-process upcalls).
+// Experiments use it to drain the daemon gracefully and read its
+// backpressure counters.
+func (f *FileServer) UpcallServer() *upcall.Server { return f.tcpServer }
+
+// UpcallClient exposes the resilient TCP upcall client (nil for in-process
+// upcalls). Experiments use it for the retry/giveup/breaker counters.
+func (f *FileServer) UpcallClient() *upcall.Client { return f.tcpClient }
 
 // System is a running DataLinks deployment.
 type System struct {
@@ -221,28 +235,58 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 		Recovery:  recovery,
 		cfg:       sc,
 	}
-	// The upcall channel: direct in-process calls by default; a real TCP
-	// loopback hop when the config asks for the daemon deployment.
+	if err := wireUpcallPlane(fsrv, srv, sc); err != nil {
+		arch.Close()
+		return nil, err
+	}
+	sys.mu.Lock()
+	sys.servers[sc.Name] = fsrv
+	sys.mu.Unlock()
+	sys.Engine.AttachFileServer(srv, sys.key, sys.ttl)
+	return fsrv, nil
+}
+
+// wireUpcallPlane attaches the DLFS↔DLFM upcall channel to a file server:
+// direct in-process calls by default, or the hardened TCP plane (framed
+// protocol, pooled client with retry/backoff/deadlines/breaker, bounded
+// server with graceful drain) when the config asks for the daemon
+// deployment. One registry is shared by the client, the server, and the
+// measuring transport so the resilience counters surface together.
+func wireUpcallPlane(fsrv *FileServer, srv *dlfm.Server, sc ServerConfig) error {
+	upReg := metrics.NewRegistry()
+	var netCfg upcall.NetConfig
+	if sc.UpcallNet != nil {
+		netCfg = *sc.UpcallNet
+	}
 	var svc upcall.Service = srv
-	if sc.TCPUpcalls {
-		tcpServer, addr, err := upcall.Serve(srv, "127.0.0.1:0")
-		if err != nil {
-			arch.Close()
-			return nil, fmt.Errorf("core: upcall server: %w", err)
+	switch {
+	case sc.TCPUpcalls:
+		if netCfg.Server.Metrics == nil {
+			netCfg.Server.Metrics = upReg
 		}
-		client, err := upcall.Dial(addr)
+		if netCfg.Client.Metrics == nil {
+			netCfg.Client.Metrics = upReg
+		}
+		tcpServer, addr, err := upcall.ServeConfig(srv, "127.0.0.1:0", netCfg.Server)
+		if err != nil {
+			return fmt.Errorf("core: upcall server: %w", err)
+		}
+		client, err := upcall.DialConfig(addr, netCfg.Client)
 		if err != nil {
 			tcpServer.Close()
-			arch.Close()
-			return nil, fmt.Errorf("core: upcall dial: %w", err)
+			return fmt.Errorf("core: upcall dial: %w", err)
 		}
 		fsrv.tcpServer = tcpServer
 		fsrv.tcpClient = client
 		svc = client
+	case netCfg.Client.Chaos != nil:
+		// In-process deployment with fault injection: no retry layer in
+		// front, so injected faults surface directly to DLFS callers.
+		svc = netCfg.Client.Chaos.WrapService(srv)
 	}
-	transport := upcall.NewInProc(svc, sc.UpcallLatency, nil)
+	transport := upcall.NewInProc(svc, sc.UpcallLatency, upReg)
 	mount := dlfs.New(dlfs.Config{
-		Phys:    phys,
+		Phys:    fsrv.Phys,
 		Upcall:  transport,
 		DLFMUid: srv.UID(),
 		Strict:  sc.Strict,
@@ -250,11 +294,7 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	fsrv.DLFS = mount
 	fsrv.LFS = vfs.NewLFS(mount)
 	fsrv.Transport = transport
-	sys.mu.Lock()
-	sys.servers[sc.Name] = fsrv
-	sys.mu.Unlock()
-	sys.Engine.AttachFileServer(srv, sys.key, sys.ttl)
-	return fsrv, nil
+	return nil
 }
 
 // Server returns a file server by name.
@@ -369,31 +409,9 @@ func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, err
 		NativeLFS: old.NativeLFS,
 		cfg:       old.cfg,
 	}
-	var svc upcall.Service = srv
-	if old.cfg.TCPUpcalls {
-		tcpServer, addr, err := upcall.Serve(srv, "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("core: upcall server after recovery: %w", err)
-		}
-		client, err := upcall.Dial(addr)
-		if err != nil {
-			tcpServer.Close()
-			return nil, fmt.Errorf("core: upcall dial after recovery: %w", err)
-		}
-		fresh.tcpServer = tcpServer
-		fresh.tcpClient = client
-		svc = client
+	if err := wireUpcallPlane(fresh, srv, old.cfg); err != nil {
+		return nil, err
 	}
-	transport := upcall.NewInProc(svc, old.cfg.UpcallLatency, nil)
-	mount := dlfs.New(dlfs.Config{
-		Phys:    old.Phys,
-		Upcall:  transport,
-		DLFMUid: srv.UID(),
-		Strict:  old.cfg.Strict,
-	})
-	fresh.DLFS = mount
-	fresh.LFS = vfs.NewLFS(mount)
-	fresh.Transport = transport
 	sys.mu.Lock()
 	sys.servers[name] = fresh
 	sys.mu.Unlock()

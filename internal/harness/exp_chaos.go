@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"datalinks/internal/core"
+	"datalinks/internal/fs"
+	"datalinks/internal/retry"
+	"datalinks/internal/upcall"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E20",
+		Title: "Chaos soak: committed updates survive an unreliable upcall network",
+		Paper: "The paper's transactional file-update guarantee (open=begin, close=commit) must hold when the DLFS↔DLFM channel is a real, faulty network: message loss, connection resets, and latency spikes may slow clients down but can never lose an acknowledged commit, hang a client, or leave the daemon unable to drain.",
+		Run:   runE20,
+	})
+}
+
+// The E20 knobs, exported so cmd/dlbench can sweep them from the command
+// line. N sessions each drive committed in-place updates to their own linked
+// file over real TCP sockets while the Chaos injector drops, resets, and
+// delays wire messages with the given probabilities.
+var (
+	ChaosSessions  = 8
+	ChaosOps       = 25 // update attempts per session
+	ChaosDropProb  = 0.06
+	ChaosResetProb = 0.03
+	ChaosDelayProb = 0.15
+	ChaosSeed      = int64(20)
+)
+
+// chaosContent encodes a session's update so verification can recover the
+// sequence number from the file bytes alone.
+func chaosContent(session, seq int) []byte {
+	return []byte(fmt.Sprintf("s%d-seq%06d chaos soak payload", session, seq))
+}
+
+// chaosSeq parses the sequence number back out of file content (-1: not a
+// chaos payload).
+func chaosSeq(content []byte) int {
+	parts := strings.SplitN(string(content), " ", 2)
+	i := strings.Index(parts[0], "-seq")
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(parts[0][i+4:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// runE20 soaks the TCP upcall plane under injected faults, then proves the
+// commit guarantee: every acknowledged commit is durable (the final content
+// is never OLDER than the last ack — newer is legal, because a commit whose
+// ack was lost on the wire still committed), the daemon drains cleanly, and
+// no client hung.
+func runE20() ([]*Table, error) {
+	ch := &upcall.Chaos{
+		Seed:      ChaosSeed,
+		DropProb:  ChaosDropProb,
+		ResetProb: ChaosResetProb,
+		DelayDist: upcall.Delay{Prob: ChaosDelayProb, Min: 200 * time.Microsecond, Max: 2 * time.Millisecond},
+	}
+	const opTimeout = 15 * time.Second
+	sys, err := core.NewSystem(core.Config{
+		Servers: []core.ServerConfig{{
+			Name: "fs1",
+			// Short OpenWait: a write-open retried after a lost ack hits
+			// "busy" against its own ghost open and must fail fast so the
+			// session janitor can abort the ghost and move on.
+			OpenWait:   50 * time.Millisecond,
+			TCPUpcalls: true,
+			UpcallNet: &upcall.NetConfig{Client: upcall.ClientConfig{
+				PoolSize:       4,
+				AttemptTimeout: 150 * time.Millisecond,
+				OpTimeout:      opTimeout,
+				Retry:          retry.Policy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+				Breaker:        &retry.BreakerConfig{Threshold: 64, Cooldown: 100 * time.Millisecond},
+				Chaos:          ch,
+			}},
+		}},
+		LockTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	srv, err := sys.Server("fs1")
+	if err != nil {
+		return nil, err
+	}
+	sys.DB.MustExec(`CREATE TABLE soak (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY NO, doc_size INT)`)
+	if err := srv.Phys.MkdirAll("/c", fs.Cred{UID: fs.Root}, 0o777); err != nil {
+		return nil, err
+	}
+	paths := make([]string, ChaosSessions)
+	for i := 0; i < ChaosSessions; i++ {
+		paths[i] = fmt.Sprintf("/c/f%d.bin", i)
+		if err := seedOwned(srv, paths[i], chaosContent(i, 0), expUID); err != nil {
+			return nil, err
+		}
+		if _, err := sys.DB.Exec(
+			fmt.Sprintf(`INSERT INTO soak VALUES (%d, DLVALUE('dlfs://fs1%s'), NULL)`, i, paths[i])); err != nil {
+			return nil, err
+		}
+	}
+
+	// Soak. Each session tracks the newest sequence number the system
+	// ACKNOWLEDGED (a clean Close return). An op that fails anywhere is
+	// unacked: the janitor aborts any ghost in-update state and the session
+	// moves on. At-least-once delivery means a commit can land without its
+	// ack, so acked is a lower bound on the final content, never an upper.
+	type sessionResult struct {
+		acked   int
+		acks    int
+		failed  int
+		aborts  int
+		maxOp   time.Duration
+		samples []time.Duration
+	}
+	results := make([]sessionResult, ChaosSessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < ChaosSessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := sys.NewSession(expUID)
+			r := &results[id]
+			for seq := 1; seq <= ChaosOps; seq++ {
+				opStart := time.Now()
+				err := func() error {
+					row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM soak WHERE id = %d`, id))
+					if err != nil {
+						return err
+					}
+					f, err := sess.OpenWrite(row[0].S)
+					if err != nil {
+						// Possibly a ghost open from a lost write-open ack:
+						// abort it and retry the open once.
+						if aerr := srv.DLFM.AbortUpdateByPath(paths[id]); aerr == nil {
+							r.aborts++
+						}
+						f, err = sess.OpenWrite(row[0].S)
+						if err != nil {
+							return err
+						}
+					}
+					if err := f.WriteAll(chaosContent(id, seq)); err != nil {
+						_ = f.Abort()
+						return err
+					}
+					return f.Close()
+				}()
+				d := time.Since(opStart)
+				r.samples = append(r.samples, d)
+				if d > r.maxOp {
+					r.maxOp = d
+				}
+				if err == nil {
+					r.acked = seq
+					r.acks++
+				} else {
+					r.failed++
+					// The commit may or may not have applied; clear any
+					// ghost in-update state so the next op starts clean.
+					if aerr := srv.DLFM.AbortUpdateByPath(paths[id]); aerr == nil {
+						r.aborts++
+					}
+				}
+			}
+			// A trailing unacked op can leave the file mid-update; roll it
+			// back so the verification below sees committed state only.
+			if aerr := srv.DLFM.AbortUpdateByPath(paths[id]); aerr == nil {
+				r.aborts++
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Stop injecting, drain the daemon gracefully, then verify.
+	ch.Enable(false)
+	drainStart := time.Now()
+	drainErr := srv.UpcallServer().Drain(10 * time.Second)
+	drainWall := time.Since(drainStart)
+	srv.DLFM.WaitArchives()
+
+	var lost, totalAcks, totalFails, totalAborts int
+	var allSamples []time.Duration
+	var maxOp time.Duration
+	for i := range results {
+		r := &results[i]
+		totalAcks += r.acks
+		totalFails += r.failed
+		totalAborts += r.aborts
+		allSamples = append(allSamples, r.samples...)
+		if r.maxOp > maxOp {
+			maxOp = r.maxOp
+		}
+		content, err := srv.Phys.ReadFile(paths[i])
+		if err != nil {
+			return nil, fmt.Errorf("E20: read back %s: %w", paths[i], err)
+		}
+		if got := chaosSeq(content); got < r.acked {
+			lost++
+		}
+	}
+	s := Summarize(allSamples)
+
+	t := &Table{
+		Caption: "E20. Chaos soak: committed-update safety under an unreliable network",
+		Headers: []string{"sessions", "ops/sess", "acked commits", "failed ops", "lost commits", "wall", "ops/s", "p50", "p95", "p99", "max op"},
+	}
+	t.AddRow(
+		fmt.Sprintf("%d", ChaosSessions),
+		fmt.Sprintf("%d", ChaosOps),
+		fmt.Sprintf("%d", totalAcks),
+		fmt.Sprintf("%d", totalFails),
+		fmt.Sprintf("%d", lost),
+		Dur(wall),
+		fmt.Sprintf("%.0f", float64(ChaosSessions*ChaosOps)/wall.Seconds()),
+		Dur(s.P50), Dur(s.P95), Dur(quantile(allSamples, 0.99)), Dur(maxOp),
+	)
+	t.Note("fault mix: drop %.0f%%, reset %.0f%%, delay %.0f%% of 0.2–2ms (seed %d); a failed op is an update whose ack never arrived — safety demands it never rolls back an EARLIER acked commit",
+		ChaosDropProb*100, ChaosResetProb*100, ChaosDelayProb*100, ChaosSeed)
+	t.Note("every op is bounded by the client's %v op deadline — max observed %v means zero hung clients", opTimeout, Dur(maxOp))
+
+	st := ch.Stats()
+	reg := srv.Transport.Metrics()
+	ft := &Table{
+		Caption: "E20b. Injected faults and the resilience machinery that absorbed them",
+		Headers: []string{"drops", "resets", "delays", "retries", "giveups", "breaker opens", "overload rejects", "conns retired", "ghost aborts", "drain"},
+	}
+	drainCell := Dur(drainWall) + " clean"
+	if drainErr != nil {
+		drainCell = "TIMED OUT"
+	}
+	ft.AddRow(
+		fmt.Sprintf("%d", st.Drops),
+		fmt.Sprintf("%d", st.Resets),
+		fmt.Sprintf("%d", st.Delays),
+		fmt.Sprintf("%d", reg.Counter("upcall.retries").Value()),
+		fmt.Sprintf("%d", reg.Counter("upcall.giveups").Value()),
+		fmt.Sprintf("%d", reg.Counter("upcall.breaker_open").Value()),
+		fmt.Sprintf("%d", reg.Counter("upcall.inflight_rejected").Value()),
+		fmt.Sprintf("%d", reg.Counter("upcall.conns_retired").Value()),
+		fmt.Sprintf("%d", totalAborts),
+		drainCell,
+	)
+	ft.Note("a ghost abort clears in-update state left by an op whose request was applied but whose ack was lost (at-least-once delivery)")
+
+	if lost > 0 {
+		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: %d file(s) ended OLDER than their last acknowledged commit", lost)
+	}
+	if drainErr != nil {
+		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: graceful drain did not complete: %w", drainErr)
+	}
+	if maxOp > opTimeout+opTimeout/2 {
+		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: an op took %v, beyond the %v deadline — a client hung", maxOp, opTimeout)
+	}
+	return []*Table{t, ft}, nil
+}

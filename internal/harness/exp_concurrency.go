@@ -2,12 +2,14 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"datalinks/internal/core"
 	"datalinks/internal/fs"
+	"datalinks/internal/upcall"
 	"datalinks/internal/workload"
 )
 
@@ -32,6 +34,10 @@ var (
 	// sessions should overlap these waits; any layer that re-serializes them
 	// shows up immediately as flat scaling.
 	ConcurrencyUpcallLatency = 200 * time.Microsecond
+	// ConcurrencyNet routes every upcall over a real TCP socket (the daemon
+	// deployment) instead of in-process calls, and reports per-op latency
+	// percentiles measured through the resilient client.
+	ConcurrencyNet = false
 )
 
 // runE13 drives N concurrent sessions against M file servers and reports
@@ -42,7 +48,11 @@ func runE13() ([]*Table, error) {
 		Caption: "E13. Aggregate throughput vs concurrent sessions",
 		Headers: []string{"sessions", "servers", "ops", "wall", "ops/s", "lock waits", "lock wait time", "shard collisions", "fs reads"},
 	}
+	if ConcurrencyNet {
+		t.Caption = "E13. Aggregate throughput vs concurrent sessions (upcalls over TCP)"
+	}
 	var baseline float64
+	var lastStats concurrencyStats
 	for _, n := range ConcurrencySessions {
 		wall, ops, stats, err := concurrencyRound(n)
 		if err != nil {
@@ -63,10 +73,55 @@ func runE13() ([]*Table, error) {
 			fmt.Sprintf("%d", stats.shardCollisions),
 			fmt.Sprintf("%d", stats.fsReads),
 		)
+		lastStats = stats
 	}
 	t.Note("each session loops open-read-close on its own linked rdd file (every 10th op is an in-place update); upcall IPC latency %v", ConcurrencyUpcallLatency)
 	t.Note("scaling comes from overlapping the per-open upcalls across sessions — a global lock anywhere in fs/lockmgr/dlfm flattens this curve")
-	return []*Table{t}, nil
+	tables := []*Table{t}
+	if ConcurrencyNet {
+		tables = append(tables, netLatencyTable(
+			fmt.Sprintf("E13-net. Per-upcall-op latency over real sockets (%d sessions)",
+				ConcurrencySessions[len(ConcurrencySessions)-1]),
+			lastStats.perOp))
+		tables[1].Note("measured through the resilient client: deadlines, retries and backoff included; retries=%d giveups=%d breaker_open=%d inflight_rejected=%d",
+			lastStats.retries, lastStats.giveups, lastStats.breakerOpen, lastStats.inflightRejected)
+	}
+	return tables, nil
+}
+
+// netLatencyTable renders per-op latency percentiles from merged samples.
+func netLatencyTable(caption string, perOp map[string][]time.Duration) *Table {
+	t := &Table{
+		Caption: caption,
+		Headers: []string{"op", "calls", "p50", "p95", "p99", "max"},
+	}
+	for _, op := range upcall.Ops() {
+		samples := perOp[op.String()]
+		if len(samples) == 0 {
+			continue
+		}
+		s := Summarize(samples)
+		t.AddRow(op.String(), fmt.Sprintf("%d", s.N), Dur(s.P50), Dur(s.P95), Dur(quantile(samples, 0.99)), Dur(s.Max))
+	}
+	return t
+}
+
+// quantile computes an exact order-statistic quantile of a sample set.
+func quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // concurrencyStats aggregates the contention counters of one round.
@@ -75,6 +130,13 @@ type concurrencyStats struct {
 	lockWaitTime    time.Duration
 	shardCollisions int64
 	fsReads         int64
+	// TCP-mode extras: per-op latency samples merged across servers and the
+	// resilience counters of the upcall plane.
+	perOp            map[string][]time.Duration
+	retries          int64
+	giveups          int64
+	breakerOpen      int64
+	inflightRejected int64
 }
 
 // concurrencyRound runs one session-count configuration to completion.
@@ -85,6 +147,7 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 			Name:          fmt.Sprintf("fs%d", i+1),
 			UpcallLatency: ConcurrencyUpcallLatency,
 			OpenWait:      10 * time.Second,
+			TCPUpcalls:    ConcurrencyNet,
 		}
 	}
 	sys, err := core.NewSystem(core.Config{Servers: serverNames, LockTimeout: 10 * time.Second})
@@ -190,12 +253,24 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 
 	var stats concurrencyStats
 	stats.lockWaits, stats.lockWaitTime, stats.shardCollisions = sys.DB.LockManager().ContentionStats()
+	stats.perOp = make(map[string][]time.Duration)
 	for _, name := range sys.ServerNames() {
 		srv, err := sys.Server(name)
 		if err != nil {
 			continue
 		}
 		stats.fsReads += srv.Phys.Stats.Reads.Load()
+		if ConcurrencyNet {
+			reg := srv.Transport.Metrics()
+			for _, op := range upcall.Ops() {
+				key := op.String()
+				stats.perOp[key] = append(stats.perOp[key], reg.Histogram("upcall.latency."+key).Samples()...)
+			}
+			stats.retries += reg.Counter("upcall.retries").Value()
+			stats.giveups += reg.Counter("upcall.giveups").Value()
+			stats.breakerOpen += reg.Counter("upcall.breaker_open").Value()
+			stats.inflightRejected += reg.Counter("upcall.inflight_rejected").Value()
+		}
 	}
 	return wall, ops.Load(), stats, nil
 }

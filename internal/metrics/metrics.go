@@ -93,6 +93,16 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return sorted[idx]
 }
 
+// Samples returns a copy of the recorded samples (experiments merge
+// per-server histograms before computing cross-server percentiles).
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
 // Max returns the largest sample, or 0 if empty.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()

@@ -1,0 +1,212 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+var errFatal = errors.New("fatal")
+
+func classify(err error) Class {
+	if errors.Is(err, errTransient) {
+		return Retryable
+	}
+	return Permanent
+}
+
+// identity jitter makes Delay deterministic.
+func noJitter(d time.Duration) time.Duration { return d }
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond, Multiplier: 2, Jitter: noJitter}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 45 * time.Millisecond, 45 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayFullJitterStaysInRange(t *testing.T) {
+	p := Policy{BaseDelay: 8 * time.Millisecond, MaxDelay: 64 * time.Millisecond}
+	for retry := 1; retry <= 6; retry++ {
+		// The un-jittered ceiling for this retry number.
+		ceil := Policy{BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay, Jitter: noJitter}.Delay(retry)
+		for i := 0; i < 50; i++ {
+			d := p.Delay(retry)
+			if d < 0 || d > ceil {
+				t.Fatalf("jittered Delay(%d) = %v outside [0, %v]", retry, d, ceil)
+			}
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, Jitter: noJitter}, classify,
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errTransient
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, classify,
+		func(context.Context) error { calls++; return errFatal })
+	if !errors.Is(err, errFatal) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	var retries []int
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, Jitter: noJitter,
+		OnRetry: func(attempt int, err error, d time.Duration) { retries = append(retries, attempt) }}
+	err := Do(context.Background(), p, classify, func(context.Context) error { calls++; return errTransient })
+	if !errors.Is(err, errTransient) || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v", retries)
+	}
+}
+
+func TestDoNilClassifierNeverRetries(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, nil, func(context.Context) error { calls++; return errTransient })
+	if !errors.Is(err, errTransient) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestDoRespectsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	err := Do(ctx, Policy{MaxAttempts: 100, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond, Jitter: noJitter},
+		classify, func(context.Context) error { calls++; return errTransient })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls == 0 || calls > 10 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestDoReturnsCauseWhenSleepWouldPassDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := Do(ctx, Policy{MaxAttempts: 10, BaseDelay: time.Second, Jitter: noJitter}, classify,
+		func(context.Context) error { return errTransient })
+	// The loop must surface the transient cause, not burn the deadline.
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoBudgetBoundsTotalTime(t *testing.T) {
+	start := time.Now()
+	err := Do(context.Background(),
+		Policy{MaxAttempts: 1000, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond, Budget: 25 * time.Millisecond, Jitter: noJitter},
+		classify, func(context.Context) error { return errTransient })
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("budget did not bound the loop: %v", elapsed)
+	}
+}
+
+func TestBreakerOpensAtThresholdAndCoolsDown(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	opened := 0
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Clock: clock, OnOpen: func() { opened++ }})
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %s before threshold", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure: opens
+	if b.State() != "open" || opened != 1 {
+		t.Fatalf("state = %s, opened = %d", b.State(), opened)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second caller admitted during probe")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state = %s after successful probe", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	opened := 0
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Clock: clock, OnOpen: func() { opened++ }})
+	b.Allow()
+	b.Failure()
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Failure() // probe failed: back to open with a fresh cooldown
+	if b.State() != "open" || opened != 2 {
+		t.Fatalf("state = %s, opened = %d", b.State(), opened)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("reopened breaker allowed a call before cooldown")
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 4, Cooldown: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				if err := b.Allow(); err == nil {
+					if k%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,815 @@
+package upcall
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datalinks/internal/retry"
+)
+
+// --- hermetic test servers -------------------------------------------------
+//
+// rawServer is a scripted in-process server: connection i is handed to
+// handlers[i] (later connections are closed immediately). It lets tests
+// produce exact wire-level misbehaviour — torn frames, stale sequence
+// numbers, oversized headers — that a well-behaved Server never would.
+
+func rawServer(t *testing.T, handlers ...func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if i < len(handlers) {
+				h := handlers[i]
+				go func() {
+					defer conn.Close()
+					h(conn)
+				}()
+			} else {
+				conn.Close()
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// echoFrames answers every well-formed request frame with resp.
+func echoFrames(resp Response) func(net.Conn) {
+	return func(conn net.Conn) {
+		r := bufio.NewReader(conn)
+		for {
+			var e envelope
+			if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+				return
+			}
+			if err := writeFrame(conn, DefaultMaxFrame, &envelope{Seq: e.Seq, Resp: resp}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// fastClient is a client config with short timeouts and tight backoff so
+// fault paths resolve in milliseconds.
+func fastClient() ClientConfig {
+	return ClientConfig{
+		PoolSize:       1,
+		DialTimeout:    time.Second,
+		OpTimeout:      5 * time.Second,
+		AttemptTimeout: 200 * time.Millisecond,
+		Retry:          retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		DisableBreaker: true,
+	}
+}
+
+// gateService blocks every upcall until release is closed, signalling entry
+// on entered. It drives the backpressure and drain tests.
+type gateService struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGateService() *gateService {
+	return &gateService{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gateService) Upcall(Request) (Response, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return Response{OK: true}, nil
+}
+
+// --- client fault paths ----------------------------------------------------
+
+// Server dies mid-reply: the client must retire the poisoned connection,
+// redial, and succeed on the retry.
+func TestClientRetriesTornReply(t *testing.T) {
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			r := bufio.NewReader(conn)
+			var e envelope
+			if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+				return
+			}
+			// Promise 64 payload bytes, deliver 8, hang up.
+			conn.Write([]byte{0, 0, 0, 64})
+			conn.Write(make([]byte, 8))
+		},
+		echoFrames(Response{OK: true, OpenID: 11}),
+	)
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	resp, err := client.Upcall(Request{Op: OpCheckOpen})
+	if err != nil || !resp.OK || resp.OpenID != 11 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	m := client.Metrics()
+	if m.Counter("upcall.retries").Value() < 1 {
+		t.Fatal("no retry recorded")
+	}
+	if m.Counter("upcall.conns_retired").Value() < 1 {
+		t.Fatal("poisoned connection not retired")
+	}
+	if m.Counter("upcall.conns_dialed").Value() != 2 {
+		t.Fatalf("dials = %d, want 2", m.Counter("upcall.conns_dialed").Value())
+	}
+}
+
+// A response carrying the wrong sequence number means the stream is out of
+// sync; the client must kill the connection rather than mis-deliver it.
+func TestClientRejectsStaleResponseSeq(t *testing.T) {
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			r := bufio.NewReader(conn)
+			var e envelope
+			if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+				return
+			}
+			writeFrame(conn, DefaultMaxFrame, &envelope{Seq: e.Seq + 999, Resp: Response{OK: true}})
+		},
+		echoFrames(Response{OK: true}),
+	)
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if client.Metrics().Counter("upcall.conns_retired").Value() < 1 {
+		t.Fatal("out-of-sync connection not retired")
+	}
+}
+
+// A reply header promising more than MaxFrame must be rejected before any
+// allocation, and the connection retired.
+func TestClientRejectsOversizedReply(t *testing.T) {
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			r := bufio.NewReader(conn)
+			var e envelope
+			if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+				return
+			}
+			conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB frame, sure
+			time.Sleep(50 * time.Millisecond)          // let the client read it
+		},
+		echoFrames(Response{OK: true}),
+	)
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if resp, err := client.Upcall(Request{Op: OpReadOpen}); err != nil || !resp.OK {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if client.Metrics().Counter("upcall.retries").Value() < 1 {
+		t.Fatal("oversized reply did not trigger a retry")
+	}
+}
+
+// A lost reply (server reads the request, answers nothing) must cost one
+// attempt timeout, not the whole op: the retry goes to a fresh connection.
+func TestClientRetriesLostReply(t *testing.T) {
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			r := bufio.NewReader(conn)
+			var e envelope
+			readFrame(r, DefaultMaxFrame, &e)
+			time.Sleep(2 * time.Second) // never answer within the attempt timeout
+		},
+		echoFrames(Response{OK: true}),
+	)
+	cfg := fastClient()
+	cfg.AttemptTimeout = 100 * time.Millisecond
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("lost reply burned %v, want ~1 attempt timeout", d)
+	}
+}
+
+// Permanent service errors must not be retried.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	svc := &echoService{err: errors.New("token rejected")}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Upcall(Request{Op: OpValidateToken}); err == nil || err.Error() != "token rejected" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := client.Metrics().Counter("upcall.retries").Value(); n != 0 {
+		t.Fatalf("permanent error retried %d times", n)
+	}
+	svc.mu.Lock()
+	calls := len(svc.calls)
+	svc.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("service saw %d calls, want 1", calls)
+	}
+}
+
+// When every attempt fails, the client gives up with a transport error and
+// counts the giveup.
+func TestClientGivesUpAfterBudget(t *testing.T) {
+	cfg := fastClient()
+	cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		return nil, errors.New("connection refused")
+	}
+	// Eager dial fails fast — that is the contract.
+	if _, err := DialConfig("127.0.0.1:1", cfg); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("eager dial err = %v, want ErrConnLost", err)
+	}
+
+	// Now a client whose server vanishes after dial time.
+	var broken atomic.Bool
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	cfg = fastClient()
+	cfg.Dial = func(_ string, timeout time.Duration) (net.Conn, error) {
+		if broken.Load() {
+			return nil, errors.New("connection refused")
+		}
+		return netDial(addr, timeout)
+	}
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	broken.Store(true)
+	server.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("err = %v, want ErrConnLost", err)
+	}
+	m := client.Metrics()
+	if m.Counter("upcall.giveups").Value() != 1 {
+		t.Fatalf("giveups = %d, want 1", m.Counter("upcall.giveups").Value())
+	}
+	if m.Counter("upcall.retries").Value() < 1 {
+		t.Fatal("no retries before giving up")
+	}
+}
+
+// Repeated transport failures open the circuit breaker: subsequent calls
+// fail fast without touching the network, and a cooldown later one probe
+// closes it again against a healthy daemon.
+func TestClientBreakerOpensFailsFastRecovers(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	var broken atomic.Bool
+	var dials atomic.Int64
+	cfg := fastClient()
+	cfg.DisableBreaker = false
+	cfg.Breaker = &retry.BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond}
+	cfg.Retry = retry.Policy{MaxAttempts: 1}
+	cfg.Dial = func(_ string, timeout time.Duration) (net.Conn, error) {
+		dials.Add(1)
+		if broken.Load() {
+			return nil, errors.New("connection refused")
+		}
+		return netDial(addr, timeout)
+	}
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// Take the daemon away: the pooled connection dies with the server and
+	// replacement dials are refused.
+	broken.Store(true)
+	server.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Upcall(Request{Op: OpClose}); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if client.Metrics().Counter("upcall.breaker_open").Value() < 1 {
+		t.Fatal("breaker never opened")
+	}
+	// Open breaker fails fast: no dial attempts, ErrOpen surfaced.
+	before := dials.Load()
+	if _, err := client.Upcall(Request{Op: OpClose}); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want retry.ErrOpen", err)
+	}
+	if dials.Load() != before {
+		t.Fatal("open breaker still touched the network")
+	}
+
+	// Recover: a fresh daemon comes up, the cooldown passes, one probe
+	// closes the breaker.
+	server2, addr2, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve2: %v", err)
+	}
+	defer server2.Close()
+	addr = addr2
+	broken.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("post-recovery call: %+v, %v", resp, err)
+	}
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("breaker did not close after probe: %+v, %v", resp, err)
+	}
+}
+
+// --- server fault paths ----------------------------------------------------
+
+// A client that dies mid-request (header promised more than it sent) must
+// not wedge the server.
+func TestServerSurvivesClientKilledMidRequest(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{FrameTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	conn.Write([]byte{0, 0, 0, 100}) // promise 100 bytes
+	conn.Write(make([]byte, 10))     // deliver 10
+	conn.Close()
+
+	// Also: a client that goes silent mid-frame without closing.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial 2: %v", err)
+	}
+	defer conn2.Close()
+	conn2.Write([]byte{0, 0, 0, 100})
+	// Say nothing more; FrameTimeout must cut it off.
+
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if resp, err := client.Upcall(Request{Op: OpCheckRename}); err != nil || !resp.OK {
+		t.Fatalf("server wedged after torn request: %+v, %v", resp, err)
+	}
+}
+
+// An oversized inbound frame kills only its own connection, and is counted.
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{MaxFrame: 1024})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer conn.Close()
+	conn.Write([]byte{0, 0, 0x10, 0}) // 4096 > 1024
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the connection after an oversized frame")
+	}
+	if server.Metrics().Counter("upcall.frames_oversized").Value() != 1 {
+		t.Fatal("oversized frame not counted")
+	}
+
+	// The server still serves others.
+	client, err := DialConfig(addr, ClientConfig{MaxFrame: 1024, DisableBreaker: true})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+}
+
+// A full per-connection window answers overload immediately instead of
+// queueing unbounded work, and the reply is marked retryable.
+func TestServerWindowBackpressure(t *testing.T) {
+	svc := newGateService()
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{Window: 1})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	<-svc.entered // request 1 is in the service, holding the window
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 2, Req: Request{Op: OpClose}})
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 3, Req: Request{Op: OpClose}})
+
+	for _, wantSeq := range []uint64{2, 3} {
+		var e envelope
+		if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+			t.Fatalf("read overload reply: %v", err)
+		}
+		if e.Seq != wantSeq || !e.Retryable || e.Err != ErrOverloaded.Error() {
+			t.Fatalf("overload reply = %+v", e)
+		}
+	}
+	close(svc.release)
+	var e envelope
+	if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+		t.Fatalf("read gated reply: %v", err)
+	}
+	if e.Seq != 1 || !e.Resp.OK {
+		t.Fatalf("gated reply = %+v", e)
+	}
+	if server.Metrics().Counter("upcall.inflight_rejected").Value() != 2 {
+		t.Fatalf("inflight_rejected = %d, want 2", server.Metrics().Counter("upcall.inflight_rejected").Value())
+	}
+}
+
+// The global in-flight cap bounds work across connections.
+func TestServerGlobalInflightCap(t *testing.T) {
+	svc := newGateService()
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{Window: 4, MaxInflight: 1})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	connA, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer connA.Close()
+	connB, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial B: %v", err)
+	}
+	defer connB.Close()
+
+	writeFrame(connA, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	<-svc.entered
+	writeFrame(connB, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	var e envelope
+	if err := readFrame(bufio.NewReader(connB), DefaultMaxFrame, &e); err != nil {
+		t.Fatalf("read B: %v", err)
+	}
+	if !e.Retryable || e.Err != ErrOverloaded.Error() {
+		t.Fatalf("B's reply = %+v, want retryable overload", e)
+	}
+	close(svc.release)
+	if err := readFrame(bufio.NewReader(connA), DefaultMaxFrame, &e); err != nil || !e.Resp.OK {
+		t.Fatalf("A's reply = %+v, %v", e, err)
+	}
+}
+
+// Connections beyond MaxConns are refused at accept.
+func TestServerMaxConns(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{MaxConns: 1})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	defer conn1.Close()
+	// Round-trip to guarantee conn1 is registered before conn2 arrives.
+	writeFrame(conn1, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	var e envelope
+	if err := readFrame(bufio.NewReader(conn1), DefaultMaxFrame, &e); err != nil {
+		t.Fatalf("conn1 round trip: %v", err)
+	}
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer conn2.Close()
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("conn beyond MaxConns was not refused")
+	}
+	if server.Metrics().Counter("upcall.conns_rejected").Value() != 1 {
+		t.Fatal("refused conn not counted")
+	}
+}
+
+// Idle connections are evicted after IdleTimeout.
+func TestServerEvictsIdleConns(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection not evicted")
+	}
+	if server.Metrics().Counter("upcall.evicted").Value() < 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+// Graceful drain: in-flight requests finish and their responses flush
+// before the connections close.
+func TestServerDrainFlushesInflight(t *testing.T) {
+	svc := newGateService()
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	client, err := DialConfig(addr, fastClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := client.Upcall(Request{Op: OpClose})
+		if err == nil && !resp.OK {
+			err = errors.New("response not OK")
+		}
+		done <- err
+	}()
+	<-svc.entered // the request is in the service
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(svc.release)
+	}()
+	if err := server.Drain(2 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request lost during drain: %v", err)
+	}
+}
+
+// Drain must give up after its timeout when a handler never finishes,
+// returning an error instead of hanging.
+func TestServerDrainTimesOut(t *testing.T) {
+	svc := newGateService()
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	<-svc.entered
+
+	start := time.Now()
+	if err := server.Drain(50 * time.Millisecond); err == nil {
+		t.Fatal("drain with a stuck handler returned nil")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("drain took %v, want ~50ms", d)
+	}
+	close(svc.release) // let the stuck handler finish
+}
+
+// A request that the reader picks up after the drain flag is set is refused
+// with a retryable draining error. White-box: the flag is raised directly so
+// the read completes deterministically after it (a real Drain races its
+// deadline nudge against the in-flight read).
+func TestServerDrainRefusesNewRequests(t *testing.T) {
+	svc := newGateService()
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	// Park request 1 in the service; the reader loops back into its header
+	// wait (give it a beat to get there before raising the flag).
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 1, Req: Request{Op: OpClose}})
+	<-svc.entered
+	time.Sleep(20 * time.Millisecond)
+
+	server.draining.Store(true)
+	writeFrame(conn, DefaultMaxFrame, &envelope{Seq: 2, Req: Request{Op: OpClose}})
+	var e envelope
+	if err := readFrame(r, DefaultMaxFrame, &e); err != nil {
+		t.Fatalf("read drain reply: %v", err)
+	}
+	if e.Seq != 2 || !e.Retryable || e.Err != ErrDraining.Error() {
+		t.Fatalf("drain reply = %+v, want retryable draining error", e)
+	}
+	if server.Metrics().Counter("upcall.drain_rejected").Value() != 1 {
+		t.Fatal("drain rejection not counted")
+	}
+
+	// The parked request still completes and its response still flushes.
+	close(svc.release)
+	if err := readFrame(r, DefaultMaxFrame, &e); err != nil || e.Seq != 1 || !e.Resp.OK {
+		t.Fatalf("parked reply = %+v, %v", e, err)
+	}
+}
+
+// --- chaos ----------------------------------------------------------------
+
+// The same seed must produce the same fault sequence.
+func TestChaosDeterministic(t *testing.T) {
+	mk := func() *Chaos {
+		return &Chaos{Seed: 7, DropProb: 0.3, ResetProb: 0.2, DelayDist: Delay{Prob: 0.5, Min: time.Microsecond, Max: 5 * time.Microsecond}}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ad, adrop, areset := a.roll()
+		bd, bdrop, breset := b.roll()
+		if ad != bd || adrop != bdrop || areset != breset {
+			t.Fatalf("roll %d diverged: (%v %v %v) vs (%v %v %v)", i, ad, adrop, areset, bd, bdrop, breset)
+		}
+	}
+}
+
+// WrapService injects connection-scoped faults in-process, and Enable(false)
+// turns them all off.
+func TestChaosWrapService(t *testing.T) {
+	inner := &echoService{resp: Response{OK: true}}
+	ch := &Chaos{DropProb: 1}
+	svc := ch.WrapService(inner)
+	if _, err := svc.Upcall(Request{Op: OpClose}); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("err = %v, want ErrConnLost", err)
+	}
+	if ch.Stats().Drops != 1 {
+		t.Fatalf("stats = %+v", ch.Stats())
+	}
+	inner.mu.Lock()
+	n := len(inner.calls)
+	inner.mu.Unlock()
+	if n != 0 {
+		t.Fatal("dropped request still reached the service")
+	}
+
+	ch.Enable(false)
+	if resp, err := svc.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("disabled chaos still faulted: %+v, %v", resp, err)
+	}
+
+	ch.Enable(true)
+	ch.DropProb = 0
+	ch.Partition(true)
+	if _, err := svc.Upcall(Request{Op: OpClose}); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("partition err = %v, want ErrConnLost", err)
+	}
+	ch.Partition(false)
+	if resp, err := svc.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("partition heal: %+v, %v", resp, err)
+	}
+}
+
+// Soak: a real server, a chaos-wrapped client, and every op must still
+// succeed via retries while faults are provably injected.
+func TestChaosSoakOverTCP(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	ch := &Chaos{
+		Seed:      42,
+		DropProb:  0.15,
+		ResetProb: 0.08,
+		DelayDist: Delay{Prob: 0.2, Min: 100 * time.Microsecond, Max: 2 * time.Millisecond},
+	}
+	cfg := ClientConfig{
+		PoolSize:       2,
+		AttemptTimeout: 60 * time.Millisecond,
+		OpTimeout:      10 * time.Second,
+		Retry:          retry.Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+		DisableBreaker: true,
+		Chaos:          ch,
+	}
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	const ops = 40
+	for i := 0; i < ops; i++ {
+		if resp, err := client.Upcall(Request{Op: OpClose, OpenID: uint64(i)}); err != nil || !resp.OK {
+			t.Fatalf("op %d: %+v, %v", i, resp, err)
+		}
+	}
+	st := ch.Stats()
+	if st.Drops+st.Resets == 0 {
+		t.Fatalf("chaos injected nothing: %+v", st)
+	}
+	svc.mu.Lock()
+	served := len(svc.calls)
+	svc.mu.Unlock()
+	if served < ops {
+		t.Fatalf("server saw %d calls, want >= %d (at-least-once)", served, ops)
+	}
+	if client.Metrics().Counter("upcall.retries").Value() == 0 {
+		t.Fatal("soak ran without a single retry despite injected faults")
+	}
+}
+
+// Partition over TCP: dials fail while partitioned, heal restores service.
+func TestChaosPartitionOverTCP(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+
+	ch := &Chaos{}
+	cfg := fastClient()
+	cfg.AttemptTimeout = 50 * time.Millisecond
+	cfg.Chaos = ch
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Upcall(Request{Op: OpClose}); err != nil {
+		t.Fatalf("pre-partition: %v", err)
+	}
+
+	ch.Partition(true)
+	if _, err := client.Upcall(Request{Op: OpClose}); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("partitioned err = %v, want ErrConnLost", err)
+	}
+	ch.Partition(false)
+	if resp, err := client.Upcall(Request{Op: OpClose}); err != nil || !resp.OK {
+		t.Fatalf("post-heal: %+v, %v", resp, err)
+	}
+}

@@ -1,0 +1,84 @@
+package upcall
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The wire protocol is length-prefixed frames: a 4-byte big-endian payload
+// length followed by a gob-encoded envelope. Each frame is encoded and
+// decoded independently (no shared gob stream state), so a torn frame or a
+// decode error poisons nothing beyond its own connection, responses can be
+// written out of order under pipelining, and a reader always knows exactly
+// how many bytes to consume or discard. The length prefix is validated
+// against MaxFrame before any allocation — a corrupt or hostile header
+// cannot balloon memory.
+
+// DefaultMaxFrame bounds one frame's payload. Upcall requests and responses
+// are small (paths, tokens, scalars); 1 MiB leaves two orders of magnitude
+// of headroom while still rejecting garbage headers immediately.
+const DefaultMaxFrame = 1 << 20
+
+// envelope is the gob frame body. Seq correlates a response to its request
+// on one connection: the client rejects (and retires the connection on) any
+// response whose Seq does not match the request it just sent, so a stale
+// response from an earlier timed-out request can never be mis-delivered.
+type envelope struct {
+	Seq  uint64
+	Req  Request
+	Resp Response
+	// Err carries a Service-level error (the daemon answered with an
+	// error). Retryable marks transient server conditions — overload,
+	// draining — that the client may safely retry; everything else is
+	// permanent.
+	Err       string
+	Retryable bool
+}
+
+// writeFrame encodes and writes one frame. The payload is staged in a
+// buffer so the length prefix and body go out in a single Write (one
+// syscall, and no torn header on a concurrent writer bug).
+func writeFrame(w io.Writer, maxFrame int, e *envelope) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return fmt.Errorf("upcall: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	n := len(b) - 4
+	if n > maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads and decodes one frame, rejecting oversized payloads
+// before allocating for them.
+func readFrame(r io.Reader, maxFrame int, e *envelope) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return decodeEnvelope(payload, e)
+}
+
+// decodeEnvelope decodes one frame payload already read off the wire.
+func decodeEnvelope(payload []byte, e *envelope) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(e); err != nil {
+		return fmt.Errorf("upcall: decode frame: %w", err)
+	}
+	return nil
+}

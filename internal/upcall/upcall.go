@@ -10,15 +10,20 @@
 // modern hardware.
 //
 // Two transports are provided: a direct in-process transport and a TCP
-// transport (encoding/gob) for running DLFM as a separate process.
+// transport for running DLFM as a separate daemon (cmd/dlfmd). The TCP
+// plane is built for real networks: a length-prefixed framed protocol with
+// a hard frame-size limit, a connection pool with health-checked reconnect,
+// per-op deadlines, retry with capped exponential backoff and full jitter
+// (internal/retry), an optional circuit breaker, and server-side
+// backpressure (bounded connections, per-connection request windows, global
+// in-flight cap, slow/idle-client eviction, graceful drain). A Chaos fault
+// injector wraps either transport so every failure mode is testable
+// deterministically.
 package upcall
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"datalinks/internal/metrics"
@@ -58,6 +63,11 @@ func (o Op) String() string {
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
+}
+
+// Ops lists every upcall operation (metrics tables iterate it).
+func Ops() []Op {
+	return []Op{OpValidateToken, OpCheckOpen, OpWriteOpen, OpClose, OpCheckRemove, OpCheckRename, OpReadOpen}
 }
 
 // Request is one upcall from DLFS to DLFM.
@@ -102,8 +112,35 @@ type Service interface {
 	Upcall(req Request) (Response, error)
 }
 
-// ErrTransport reports a broken transport (daemon down).
-var ErrTransport = errors.New("upcall: transport failure")
+// Transport-fault taxonomy. ErrTransport is the base class every transport
+// failure wraps; the retry classifier keys off the finer-grained sentinels.
+var (
+	// ErrTransport reports a broken transport (daemon down). Every error
+	// below wraps it, so errors.Is(err, ErrTransport) catches them all.
+	ErrTransport = errors.New("upcall: transport failure")
+	// ErrConnLost marks a connection-scoped fault: dial failure, I/O
+	// deadline, mid-request drop, torn frame, or a decode error. The
+	// connection it happened on has been retired — state never leaks into
+	// the next request — and a fresh attempt may succeed. Retryable.
+	ErrConnLost = errors.New("upcall: connection lost")
+	// ErrOverloaded is the server's backpressure signal: a request arrived
+	// while the per-connection window or the global in-flight cap was
+	// full. The connection is healthy; back off and retry.
+	ErrOverloaded = errors.New("upcall: server overloaded")
+	// ErrDraining reports a server that is shutting down gracefully:
+	// it finishes in-flight requests but accepts no new ones. Retryable
+	// (a replacement daemon may pick up the address).
+	ErrDraining = errors.New("upcall: server draining")
+	// ErrFrameTooLarge reports a frame beyond the configured size limit —
+	// in either direction. Oversized inbound frames cannot be skipped
+	// (the stream is unparseable past them), so the connection dies.
+	ErrFrameTooLarge = errors.New("upcall: frame exceeds size limit")
+)
+
+// connLost wraps a low-level cause as a retryable connection-loss fault.
+func connLost(cause error) error {
+	return fmt.Errorf("%w: %w: %w", ErrTransport, ErrConnLost, cause)
+}
 
 // Transport is a Service that carries calls to a remote Service while
 // recording metrics and injecting simulated IPC latency.
@@ -122,16 +159,20 @@ func NewInProc(svc Service, latency time.Duration, reg *metrics.Registry) *Trans
 	return &Transport{svc: svc, latency: latency, reg: reg}
 }
 
-// Upcall forwards the request, counting and timing it.
+// Upcall forwards the request, counting and timing it (aggregate and
+// per-op, so experiments report p50/p95/p99 per operation).
 func (t *Transport) Upcall(req Request) (Response, error) {
 	start := time.Now()
 	if t.latency > 0 {
 		time.Sleep(t.latency)
 	}
 	resp, err := t.svc.Upcall(req)
-	t.reg.Counter("upcall." + req.Op.String()).Inc()
+	opName := req.Op.String()
+	t.reg.Counter("upcall." + opName).Inc()
 	t.reg.Counter("upcall.total").Inc()
-	t.reg.Histogram("upcall.latency").Observe(time.Since(start))
+	elapsed := time.Since(start)
+	t.reg.Histogram("upcall.latency").Observe(elapsed)
+	t.reg.Histogram("upcall.latency." + opName).Observe(elapsed)
 	return resp, err
 }
 
@@ -151,170 +192,3 @@ func (t *Transport) CallsFor(op Op) int64 {
 
 // Reset zeroes all transport metrics.
 func (t *Transport) Reset() { t.reg.ResetAll() }
-
-// ---- TCP transport ----
-
-// wire is the gob envelope.
-type wire struct {
-	Req  Request
-	Resp Response
-	Err  string
-}
-
-// Server serves a Service over TCP.
-type Server struct {
-	svc Service
-	ln  net.Listener
-	wg  sync.WaitGroup
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-}
-
-// Serve starts accepting connections on addr (e.g. "127.0.0.1:0") and
-// returns the bound address.
-func Serve(svc Service, addr string) (*Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", err
-	}
-	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, ln.Addr().String(), nil
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var w wire
-		if err := dec.Decode(&w); err != nil {
-			return
-		}
-		resp, err := s.svc.Upcall(w.Req)
-		out := wire{Resp: resp}
-		if err != nil {
-			out.Err = err.Error()
-		}
-		if err := enc.Encode(&out); err != nil {
-			return
-		}
-	}
-}
-
-// Close stops the server: the listener and every active connection are
-// closed, then in-flight handlers drain.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	s.ln.Close()
-	s.wg.Wait()
-}
-
-// Client is a Service talking to a remote Server over one TCP connection.
-// Calls are serialized; the DLFS kernel path is naturally serialized per
-// upcall anyway.
-type Client struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-}
-
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
-	if err := c.connect(); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrTransport, err)
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
-}
-
-// Upcall sends the request and waits for the response, reconnecting once on
-// a broken connection.
-func (c *Client) Upcall(req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for attempt := 0; ; attempt++ {
-		if c.conn == nil {
-			if err := c.connect(); err != nil {
-				return Response{}, err
-			}
-		}
-		if err := c.enc.Encode(&wire{Req: req}); err == nil {
-			var w wire
-			if err := c.dec.Decode(&w); err == nil {
-				if w.Err != "" {
-					return w.Resp, errors.New(w.Err)
-				}
-				return w.Resp, nil
-			}
-		}
-		c.conn.Close()
-		c.conn = nil
-		if attempt >= 1 {
-			return Response{}, fmt.Errorf("%w: connection lost to %s", ErrTransport, c.addr)
-		}
-	}
-}
-
-// Close tears down the connection.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-}
