@@ -96,6 +96,12 @@ func main() {
 		e20reset = flag.Float64("e20-reset", -1, "E20: per-message connection-reset probability (0..1)")
 		e20delay = flag.Float64("e20-delay", -1, "E20: per-message delay probability (0..1)")
 		e20seed  = flag.Int64("e20-seed", 0, "E20: chaos PRNG seed (nonzero)")
+		e21srv   = flag.String("e21-servers", "", "E21: comma-separated cluster sizes for the scale rounds (e.g. 1,4,16)")
+		e21sess  = flag.Int("e21-sessions", 0, "E21: concurrent sessions per round (half readers, half writers)")
+		e21round = flag.Duration("e21-round", 0, "E21: duration of each time-bounded round (e.g. 2s)")
+		e21files = flag.Int("e21-files", 0, "E21: linked files per round")
+		e21lat   = flag.Duration("e21-upcall-latency", -1, "E21: simulated DLFS→DLFM IPC latency per member (e.g. 1ms)")
+		e21width = flag.Int("e21-width", 0, "E21: concurrent upcall width per member")
 	)
 	flag.Parse()
 
@@ -233,6 +239,33 @@ func main() {
 	}
 	if *e20seed != 0 {
 		harness.ChaosSeed = *e20seed
+	}
+	if *e21srv != "" {
+		var counts []int
+		for _, part := range strings.Split(*e21srv, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dlbench: bad -e21-servers value %q\n", part)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		harness.ScaleoutServers = counts
+	}
+	if *e21sess > 0 {
+		harness.ScaleoutSessions = *e21sess
+	}
+	if *e21round > 0 {
+		harness.ScaleoutRound = *e21round
+	}
+	if *e21files > 0 {
+		harness.ScaleoutFiles = *e21files
+	}
+	if *e21lat >= 0 {
+		harness.ScaleoutUpcallLatency = *e21lat
+	}
+	if *e21width > 0 {
+		harness.ScaleoutUpcallWidth = *e21width
 	}
 
 	if *list {

@@ -6,19 +6,26 @@
 //	dlctl -demo status
 //	dlctl -demo backup-restore
 //	dlctl -demo crash
+//	dlctl -demo ring
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"datalinks"
 )
 
 func main() {
-	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash")
+	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash | ring")
 	flag.Parse()
+
+	if *demo == "ring" {
+		ringDemo()
+		return
+	}
 
 	sys, err := datalinks.Open(datalinks.Config{
 		Servers: []datalinks.ServerConfig{{Name: "fs1"}},
@@ -83,6 +90,71 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "dlctl: unknown demo %q\n", *demo)
 		os.Exit(1)
+	}
+}
+
+// ringDemo inspects the scale-out namespace: where the consistent-hash ring
+// places each linked path, how many shards each member serves, and what the
+// migration counters record after the cluster grows by one member.
+func ringDemo() {
+	fmt.Println("== dlctl ring: placement, shard counts, migration status ==")
+	c, err := datalinks.OpenCluster(datalinks.ClusterConfig{
+		Members: []datalinks.ServerConfig{{Name: "fs1"}, {Name: "fs2"}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	c.MustExec(`CREATE TABLE docs (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY YES, doc_size INT)`)
+	const files = 12
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/docs/doc%02d.pdf", i)
+		must(c.SeedFile(paths[i], []byte(fmt.Sprintf("doc %d v1", i)), 100))
+		c.MustExec(fmt.Sprintf(`INSERT INTO docs (id, doc) VALUES (%d, DLVALUE('%s'))`, i, c.URL(paths[i])))
+	}
+
+	fmt.Printf("\nauthority %q, members %v\n", c.Authority(), c.Members())
+	fmt.Println("\npath -> server placement:")
+	for _, p := range paths {
+		owner, err := c.Owner(p)
+		must(err)
+		fmt.Printf("  %-22s -> %s\n", p, owner)
+	}
+
+	fmt.Println("\nper-server shard counts:")
+	printPlacements(c.Placements())
+
+	fmt.Println("\ngrowing the cluster: AddServer fs3 (live rebalance)...")
+	must(c.AddServer(datalinks.ServerConfig{Name: "fs3"}))
+
+	fmt.Println("\nper-server shard counts after rebalance:")
+	printPlacements(c.Placements())
+
+	reg := c.Internal().Router().Metrics()
+	fmt.Println("\nmigration status:")
+	fmt.Println("  ring.moves:       ", reg.Counter("ring.moves").Value())
+	fmt.Println("  ring.forwards:    ", reg.Counter("ring.forwards").Value())
+	fmt.Println("  ring.rebalance_ms:", reg.Counter("ring.rebalance_ms").Value())
+
+	fmt.Println("\nplacement after growth:")
+	for _, p := range paths {
+		owner, err := c.Owner(p)
+		must(err)
+		fmt.Printf("  %-22s -> %s\n", p, owner)
+	}
+}
+
+// printPlacements renders a member -> linked-path-count map in sorted order.
+func printPlacements(pl map[string]int) {
+	ids := make([]string, 0, len(pl))
+	for id := range pl {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %-6s %d shards\n", id, pl[id])
 	}
 }
 

@@ -60,6 +60,9 @@ type ServerConfig struct {
 	Name string
 	// UpcallLatency simulates the DLFS-to-DLFM IPC cost per upcall.
 	UpcallLatency time.Duration
+	// UpcallWidth bounds concurrent DLFS-to-DLFM upcalls on this server
+	// (0 = unbounded), modelling a finite IPC channel.
+	UpcallWidth int
 	// ArchiveLatency simulates the archive device per operation.
 	ArchiveLatency time.Duration
 	// Strict enables the strict-link-check extension: an upcall on every
@@ -146,33 +149,39 @@ type System struct {
 	core *core.System
 }
 
+// toCoreServer converts a public server config to the core layer's.
+func toCoreServer(s ServerConfig) core.ServerConfig {
+	return core.ServerConfig{
+		Name:                   s.Name,
+		UpcallLatency:          s.UpcallLatency,
+		UpcallWidth:            s.UpcallWidth,
+		ArchiveLatency:         s.ArchiveLatency,
+		Strict:                 s.Strict,
+		OpenWait:               s.OpenWait,
+		TCPUpcalls:             s.TCPUpcalls,
+		UpcallNet:              s.UpcallNet,
+		ArchiveDir:             s.ArchiveDir,
+		ArchiveMemoryBudget:    s.ArchiveMemoryBudget,
+		ArchiveGCInterval:      s.ArchiveGCInterval,
+		ArchiveCheckpointEvery: s.ArchiveCheckpointEvery,
+		ArchiveCompress:        s.ArchiveCompress,
+		ArchiveFsync:           s.ArchiveFsync,
+		ArchiveFsyncMaxDelay:   s.ArchiveFsyncMaxDelay,
+		ArchivePackThreshold:   s.ArchivePackThreshold,
+		QuarantineTTL:          s.QuarantineTTL,
+		QuarantineGCInterval:   s.QuarantineGCInterval,
+		RepoDir:                s.RepoDir,
+		RepoFsync:              s.RepoFsync,
+		RepoFsyncMaxDelay:      s.RepoFsyncMaxDelay,
+		RepoCheckpointBytes:    s.RepoCheckpointBytes,
+	}
+}
+
 // Open builds a System.
 func Open(cfg Config) (*System, error) {
 	servers := make([]core.ServerConfig, len(cfg.Servers))
 	for i, s := range cfg.Servers {
-		servers[i] = core.ServerConfig{
-			Name:                   s.Name,
-			UpcallLatency:          s.UpcallLatency,
-			ArchiveLatency:         s.ArchiveLatency,
-			Strict:                 s.Strict,
-			OpenWait:               s.OpenWait,
-			TCPUpcalls:             s.TCPUpcalls,
-			UpcallNet:              s.UpcallNet,
-			ArchiveDir:             s.ArchiveDir,
-			ArchiveMemoryBudget:    s.ArchiveMemoryBudget,
-			ArchiveGCInterval:      s.ArchiveGCInterval,
-			ArchiveCheckpointEvery: s.ArchiveCheckpointEvery,
-			ArchiveCompress:        s.ArchiveCompress,
-			ArchiveFsync:           s.ArchiveFsync,
-			ArchiveFsyncMaxDelay:   s.ArchiveFsyncMaxDelay,
-			ArchivePackThreshold:   s.ArchivePackThreshold,
-			QuarantineTTL:          s.QuarantineTTL,
-			QuarantineGCInterval:   s.QuarantineGCInterval,
-			RepoDir:                s.RepoDir,
-			RepoFsync:              s.RepoFsync,
-			RepoFsyncMaxDelay:      s.RepoFsyncMaxDelay,
-			RepoCheckpointBytes:    s.RepoCheckpointBytes,
-		}
+		servers[i] = toCoreServer(s)
 	}
 	c, err := core.NewSystem(core.Config{
 		Servers:     servers,

@@ -1,0 +1,262 @@
+package archive
+
+// Shard handoff: export a file's version history as delta manifests and
+// replay it into another store, moving chunk bytes by content hash. The
+// destination deduplicates against everything it already holds — blobs it has
+// (live, or dead-but-unswept on disk) never travel — so migrating a file
+// whose history the destination mostly shares costs O(changed chunks), the
+// same property PutSnapshot gives the commit path. This is what makes live
+// shard migration affordable: the manifests are tiny, and only genuinely new
+// bytes cross between archive devices.
+
+import (
+	"fmt"
+	"time"
+
+	"datalinks/internal/catalog"
+	"datalinks/internal/extent"
+)
+
+// HistoryMod is one changed slot of an exported delta manifest.
+type HistoryMod struct {
+	Idx  int32
+	Hash extent.Hash
+}
+
+// HistoryRec is one version of an exported history: exactly the manifest the
+// store persists, so import replays it with the same chain semantics as a
+// catalog replay. Recs are ordered oldest-first and deltas chain through
+// their predecessors, so a history must be imported whole.
+type HistoryRec struct {
+	Version        int64
+	StateID        uint64
+	Size           int64
+	StoredUnixNano int64
+	NChunks        int
+	TailLen        int
+	TailHash       extent.Hash
+	IsFull         bool
+	Full           []extent.Hash
+	Mods           []HistoryMod
+}
+
+// ImportStats reports what one ImportHistory physically did.
+type ImportStats struct {
+	Versions      int
+	MovedChunks   int   // blobs fetched from the source and stored
+	MovedBytes    int64 // bytes that crossed between the stores
+	DedupedChunks int   // blobs the destination already held (zero transfer)
+	DedupedBytes  int64
+}
+
+// ExportHistory snapshots the version history of one file as portable
+// manifest records. The slices are fresh copies — the caller may hold them
+// across arbitrary later mutation of this store.
+func (s *Store) ExportHistory(server, path string) []HistoryRec {
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fv := sh.entries[k]
+	if fv == nil {
+		return nil
+	}
+	out := make([]HistoryRec, len(fv.recs))
+	for i, rec := range fv.recs {
+		e := fv.entries[i]
+		hr := HistoryRec{
+			Version:        int64(e.Version),
+			StateID:        e.StateID,
+			Size:           e.Size,
+			StoredUnixNano: e.Stored.UnixNano(),
+			NChunks:        rec.nchunks,
+			TailLen:        rec.tailLen,
+			TailHash:       rec.tail,
+			IsFull:         rec.isFull,
+		}
+		if rec.isFull {
+			hr.Full = append([]extent.Hash(nil), rec.full...)
+		} else {
+			hr.Mods = make([]HistoryMod, len(rec.mods))
+			for j, m := range rec.mods {
+				hr.Mods[j] = HistoryMod{Idx: m.idx, Hash: m.hash}
+			}
+		}
+		out[i] = hr
+	}
+	return out
+}
+
+// FetchBlob returns the bytes of one content hash (paging in from the disk
+// tier if cold). The caller owns the returned chunk and must ReleaseChunk it.
+// This is the source side of a migration: the destination's ImportHistory
+// calls it for exactly the hashes it does not already hold.
+func (s *Store) FetchBlob(h extent.Hash) (*extent.Chunk, error) {
+	return s.disk.Get(h)
+}
+
+// ImportHistory replays an exported history into this store. fetch is called
+// once per blob hash this store does not already hold (memory, disk, or
+// dead-but-unswept on disk — all deduplicate to zero transfer). The import is
+// all-or-nothing: on any error no version becomes visible and every pinned
+// reference is released. The destination must not already hold a history for
+// (server, path) — migration owns the path exclusively while it runs.
+func (s *Store) ImportHistory(server, path string, recs []HistoryRec, fetch func(extent.Hash) (*extent.Chunk, error)) (ImportStats, error) {
+	var st ImportStats
+	if len(recs) == 0 {
+		return st, nil
+	}
+	k := key(server, path)
+
+	// Build the whole fileVersions aside, pinning blob references and moving
+	// bytes as needed — the same walk as a catalog replay, except a missing
+	// blob is fetched from the source instead of ending the history.
+	fv := &fileVersions{gen: genCounter.Add(1)}
+	var pinned []extent.Hash // every addRef taken, for unwind
+	fail := func(err error) (ImportStats, error) {
+		for _, h := range pinned {
+			s.releaseRef(h)
+		}
+		return ImportStats{}, err
+	}
+	// ensure pins one reference on h and, the first time h is fresh to the
+	// refcount table, makes sure its bytes are on this store's device.
+	// logical is the slot's logical size, charged to the dedup counters when
+	// no transfer happens.
+	ensure := func(h extent.Hash, logical int64) error {
+		fresh := s.addRef(h)
+		pinned = append(pinned, h)
+		if !fresh {
+			st.DedupedChunks++
+			st.DedupedBytes += logical
+			return nil
+		}
+		if s.disk.Has(h) {
+			// Dead-but-unswept (or adopted-orphan) blob: revive in place.
+			s.disk.Claim(h)
+			st.DedupedChunks++
+			st.DedupedBytes += logical
+			return nil
+		}
+		c, err := fetch(h)
+		if err != nil {
+			return fmt.Errorf("archive: import fetch %s: %w", path, err)
+		}
+		n := int64(len(c.Data()))
+		_, err = s.disk.Put(h, c)
+		c.ReleaseChunk()
+		if err != nil {
+			return fmt.Errorf("archive: import store %s: %w", path, err)
+		}
+		st.MovedChunks++
+		st.MovedBytes += n
+		return nil
+	}
+
+	var full []extent.Hash
+	for i, hr := range recs {
+		rec := &verRec{
+			isFull:  hr.IsFull,
+			nchunks: hr.NChunks,
+			tail:    hr.TailHash,
+			tailLen: hr.TailLen,
+		}
+		if hr.IsFull {
+			rec.full = append([]extent.Hash(nil), hr.Full...)
+		} else {
+			rec.mods = make([]chunkMod, len(hr.Mods))
+			for j, m := range hr.Mods {
+				rec.mods[j] = chunkMod{idx: m.Idx, hash: m.Hash}
+			}
+		}
+		full = applyRec(full, rec)
+		for _, h := range full {
+			if err := ensure(h, extent.ChunkSize); err != nil {
+				return fail(err)
+			}
+		}
+		if rec.tailLen > 0 {
+			if err := ensure(rec.tail, int64(rec.tailLen)); err != nil {
+				return fail(err)
+			}
+		}
+		fv.recs = append(fv.recs, rec)
+		fv.entries = append(fv.entries, Entry{
+			Server:  server,
+			Path:    path,
+			Version: Version(hr.Version),
+			StateID: hr.StateID,
+			Size:    hr.Size,
+			Stored:  time.Unix(0, hr.StoredUnixNano),
+			st:      s,
+			key:     k,
+			idx:     i,
+			gen:     fv.gen,
+		})
+		fv.last = full
+	}
+	st.Versions = len(recs)
+
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	if existing := sh.entries[k]; existing != nil {
+		sh.mu.Unlock()
+		return fail(fmt.Errorf("%w: import of %s: history already present", ErrStale, path))
+	}
+	if s.cat != nil {
+		// Log every version before it becomes visible, like PutSnapshot. On a
+		// partial failure, tombstone whatever was appended so a restart cannot
+		// resurrect a half-imported history.
+		for i, hr := range recs {
+			rec := fv.recs[i]
+			pr := &catalog.PutRec{
+				Key:            k,
+				Version:        hr.Version,
+				StateID:        hr.StateID,
+				Size:           hr.Size,
+				StoredUnixNano: hr.StoredUnixNano,
+				NChunks:        rec.nchunks,
+				TailLen:        rec.tailLen,
+				TailHash:       rec.tail,
+				IsFull:         rec.isFull,
+				Full:           rec.full,
+				Mods:           modsForCatalog(rec.mods),
+			}
+			if err := s.cat.AppendPut(pr); err != nil {
+				if i > 0 {
+					_ = s.cat.AppendDrop(k)
+				}
+				sh.mu.Unlock()
+				return fail(fmt.Errorf("archive: import catalog %s: %w", path, err))
+			}
+		}
+	}
+	sh.entries[k] = fv
+	sh.mu.Unlock()
+	if s.cat != nil {
+		_ = s.cat.CompactIfDue()
+	}
+	// Same commit durability barrier as PutSnapshot: blobs before manifests.
+	if err := s.disk.Sync(); err != nil {
+		return st, err
+	}
+	if s.cat != nil {
+		if err := s.cat.Sync(); err != nil {
+			return st, fmt.Errorf("archive: import catalog %s: %w", path, err)
+		}
+	}
+	s.logicalBytes.Add(sumSizes(recs))
+	s.newBytes.Add(st.MovedBytes)
+	s.dedupedBytes.Add(st.DedupedBytes)
+	// Device transfer: only moved blobs travel.
+	s.sleep(int64(st.MovedChunks))
+	return st, nil
+}
+
+func sumSizes(recs []HistoryRec) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.Size
+	}
+	return n
+}

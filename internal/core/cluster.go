@@ -1,0 +1,443 @@
+package core
+
+// Scale-out namespace: a Cluster runs one DataLinks authority across N file
+// servers. A consistent-hash ring places every link path on a member, every
+// layer resolves ownership through the router (engine link/unlink, token
+// issuing, session opens, metadata write-back), and membership can change
+// while commits continue: paths that land on a new owner migrate live — drain,
+// freeze, archive-history handoff, bundle import, evict — behind per-path
+// gates, so an update is either committed by the old owner before the move or
+// by the new owner after it, never lost in between.
+//
+// All members run their DLFM under the cluster's shared authority name, so
+// dlfs://<authority>/<path> URLs stay valid across migrations, archive
+// histories carry identical keys on any member's store, and tokens (one
+// shared HMAC key) validate wherever the path currently lives. Member ids
+// (fs1, fs2, ...) exist one layer down: they name the ring points, the
+// durable directories, and the metrics.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datalinks/internal/datalink"
+	"datalinks/internal/dlfm"
+	"datalinks/internal/engine"
+	"datalinks/internal/fs"
+	"datalinks/internal/metrics"
+	"datalinks/internal/ring"
+	"datalinks/internal/sqlmini"
+)
+
+var clusterRoot = fs.Cred{UID: fs.Root}
+
+// ClusterConfig configures a scale-out deployment.
+type ClusterConfig struct {
+	// Authority is the file-server name in DATALINK URLs
+	// (dlfs://<authority>/...). Defaults to "cluster".
+	Authority string
+	// Members configures the initial member stacks; each ServerConfig.Name is
+	// the member id on the ring. At least one member is required.
+	Members []ServerConfig
+	// VirtualNodes per member (0 = ring.DefaultVirtualNodes).
+	VirtualNodes int
+	Clock        func() time.Time
+	TokenKey     []byte
+	TokenTTL     time.Duration
+	LockTimeout  time.Duration
+}
+
+// Cluster is a running scale-out deployment: one host database and engine,
+// N file-server stacks behind a consistent-hash router.
+type Cluster struct {
+	DB     *sqlmini.DB
+	Engine *engine.Engine
+
+	authority string
+	clock     func() time.Time
+	key       []byte
+	ttl       time.Duration
+	router    *Router
+
+	mu      sync.Mutex
+	deadCfg map[string]ServerConfig // failed members awaiting AbsorbDead
+}
+
+// NewCluster builds and wires a scale-out deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Authority == "" {
+		cfg.Authority = "cluster"
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one member")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if len(cfg.TokenKey) == 0 {
+		cfg.TokenKey = []byte("datalinks-shared-secret")
+	}
+	reg := metrics.NewRegistry()
+	db := sqlmini.NewDB(sqlmini.Options{Clock: cfg.Clock, LockTimeout: cfg.LockTimeout, Metrics: reg})
+	eng := engine.New(db, engine.Options{Clock: cfg.Clock, Metrics: reg})
+
+	ids := make([]string, 0, len(cfg.Members))
+	for _, sc := range cfg.Members {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("core: cluster member without a name")
+		}
+		ids = append(ids, sc.Name)
+	}
+	c := &Cluster{
+		DB:        db,
+		Engine:    eng,
+		authority: cfg.Authority,
+		clock:     cfg.Clock,
+		key:       cfg.TokenKey,
+		ttl:       cfg.TokenTTL,
+		router:    newRouter(cfg.Authority, ring.New(cfg.VirtualNodes, ids...)),
+		deadCfg:   make(map[string]ServerConfig),
+	}
+	for _, sc := range cfg.Members {
+		fsrv, err := buildStack(sc, cfg.Authority, cfg.Clock, cfg.TokenKey, cfg.TokenTTL, eng)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.router.addMember(fsrv)
+	}
+	// One engine connection for the whole authority: the router resolves
+	// which member processes each link.
+	eng.AttachConn(cfg.Authority, c.router, cfg.TokenKey, cfg.TokenTTL)
+	return c, nil
+}
+
+// Authority returns the cluster's shared file-server name.
+func (c *Cluster) Authority() string { return c.authority }
+
+// Router returns the cluster's path router.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Members lists the live member ids, sorted.
+func (c *Cluster) Members() []string { return c.router.memberIDs() }
+
+// Member returns one member's stack by id.
+func (c *Cluster) Member(id string) (*FileServer, error) { return c.router.member(id) }
+
+// Owner reports which member currently serves a path.
+func (c *Cluster) Owner(path string) (string, error) {
+	m, err := c.router.owner(path)
+	if err != nil {
+		return "", err
+	}
+	return m.Name, nil
+}
+
+// URL returns the DATALINK URL for a path under this cluster's authority.
+func (c *Cluster) URL(path string) string {
+	return datalink.Link{Server: c.authority, Path: path}.URL()
+}
+
+// SeedFile creates an (unlinked) file on the member the ring places it on,
+// owned by uid — the scale-out analogue of writing a file into one server's
+// file system before linking it.
+func (c *Cluster) SeedFile(path string, content []byte, uid fs.UID) error {
+	m, err := c.router.owner(path)
+	if err != nil {
+		return err
+	}
+	if i := lastSlashIdx(path); i > 0 {
+		if err := m.Phys.MkdirAll(path[:i], clusterRoot, 0o777); err != nil {
+			return err
+		}
+	}
+	if err := m.Phys.WriteFile(path, content); err != nil {
+		return err
+	}
+	ino, err := m.Phys.Lookup(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Phys.Chown(ino, clusterRoot, uid); err != nil {
+		return err
+	}
+	return m.Phys.Chmod(ino, fs.Cred{UID: uid}, 0o644)
+}
+
+// WaitArchives drains async archiving on every member.
+func (c *Cluster) WaitArchives() {
+	for _, id := range c.router.memberIDs() {
+		if m, err := c.router.member(id); err == nil {
+			m.DLFM.WaitArchives()
+		}
+	}
+}
+
+// Close shuts down every member stack.
+func (c *Cluster) Close() {
+	for _, id := range c.router.memberIDs() {
+		if m, err := c.router.member(id); err == nil {
+			closeStack(m)
+		}
+	}
+}
+
+func closeStack(m *FileServer) {
+	m.DLFM.WaitArchives()
+	m.DLFM.Close()
+	m.Archive.Close()
+	if m.tcpClient != nil {
+		m.tcpClient.Close()
+	}
+	if m.tcpServer != nil {
+		m.tcpServer.Close()
+	}
+}
+
+// Metrics aggregates every component registry, including the ring's.
+func (c *Cluster) Metrics() map[string]*metrics.Registry {
+	out := map[string]*metrics.Registry{
+		"engine":              c.Engine.Metrics(),
+		"ring:" + c.authority: c.router.reg,
+	}
+	for _, id := range c.router.memberIDs() {
+		if m, err := c.router.member(id); err == nil {
+			out["dlfm:"+id] = m.DLFM.Metrics()
+			out["dlfs:"+id] = m.DLFS.Metrics()
+			out["upcall:"+id] = m.Transport.Metrics()
+		}
+	}
+	return out
+}
+
+// Placements counts linked paths per live member (ring-inspection tooling;
+// also refreshes the ring.placement.<member> gauges).
+func (c *Cluster) Placements() map[string]int {
+	out := make(map[string]int)
+	for _, id := range c.router.memberIDs() {
+		m, err := c.router.member(id)
+		if err != nil {
+			continue
+		}
+		n := len(m.DLFM.LinkedPaths())
+		out[id] = n
+		g := c.router.reg.Counter("ring.placement." + id)
+		g.Reset()
+		g.Add(int64(n))
+	}
+	return out
+}
+
+// ---- Membership changes (live rebalance) ----
+
+// AddServer grows the cluster by one member: the stack is built, the target
+// ring is computed, every path whose ownership moves migrates live to the new
+// member, and the ring swaps. Commits against non-moving paths proceed
+// throughout; commits against a moving path drain before the move or route to
+// the new owner after it.
+func (c *Cluster) AddServer(sc ServerConfig) error {
+	if sc.Name == "" {
+		return fmt.Errorf("core: cluster member without a name")
+	}
+	c.router.rebalanceMu.Lock()
+	defer c.router.rebalanceMu.Unlock()
+	if _, err := c.router.member(sc.Name); err == nil {
+		return fmt.Errorf("core: member %q already in the cluster", sc.Name)
+	}
+	fsrv, err := buildStack(sc, c.authority, c.clock, c.key, c.ttl, c.Engine)
+	if err != nil {
+		return err
+	}
+	target := c.router.currentRing().With(sc.Name)
+	c.router.beginRebalance(target, fsrv)
+	if err := c.rebalanceTo(target); err != nil {
+		c.router.abortRebalance()
+		return err
+	}
+	c.router.finishRebalance(target)
+	c.Placements()
+	return nil
+}
+
+// RemoveServer drains a member gracefully: every path it owns migrates to the
+// ring without it, the ring swaps, and the stack shuts down.
+func (c *Cluster) RemoveServer(id string) error {
+	c.router.rebalanceMu.Lock()
+	defer c.router.rebalanceMu.Unlock()
+	m, err := c.router.member(id)
+	if err != nil {
+		return err
+	}
+	target := c.router.currentRing().Without(id)
+	if len(target.Members()) == 0 {
+		return fmt.Errorf("core: cannot remove the last member %q", id)
+	}
+	c.router.beginRebalance(target, nil)
+	if err := c.rebalanceTo(target); err != nil {
+		c.router.abortRebalance()
+		return err
+	}
+	c.router.finishRebalance(target)
+	c.router.dropMember(id)
+	closeStack(m)
+	c.Placements()
+	return nil
+}
+
+// FailServer simulates a member machine dying: the DLFM is killed without a
+// checkpoint, the archive drops its volatile state, TCP endpoints close, and
+// the member stops serving. Its durable directories (RepoDir, ArchiveDir)
+// survive for AbsorbDead.
+func (c *Cluster) FailServer(id string) error {
+	m, err := c.router.member(id)
+	if err != nil {
+		return err
+	}
+	m.DLFM.Kill()
+	m.Archive.Crash()
+	if m.tcpClient != nil {
+		m.tcpClient.Close()
+	}
+	if m.tcpServer != nil {
+		m.tcpServer.Close()
+	}
+	c.router.dropMember(id)
+	c.mu.Lock()
+	c.deadCfg[id] = m.cfg
+	c.mu.Unlock()
+	return nil
+}
+
+// AbsorbDead recovers a failed member's files under the surviving members:
+// the dead member's durable directories are cold-started (repository WAL
+// replay rebuilds the link set; linked contents materialize from the archive),
+// every recovered path migrates to its owner on the ring without the dead
+// member, and the member leaves the ring. Requires the failed member to have
+// run with RepoDir set — a purely volatile member leaves nothing to absorb.
+func (c *Cluster) AbsorbDead(id string) error {
+	c.mu.Lock()
+	sc, dead := c.deadCfg[id]
+	c.mu.Unlock()
+	if !dead {
+		return fmt.Errorf("core: member %q has not failed", id)
+	}
+	if sc.RepoDir == "" {
+		return fmt.Errorf("core: member %q has no durable repository to absorb", id)
+	}
+	c.router.rebalanceMu.Lock()
+	defer c.router.rebalanceMu.Unlock()
+	// Cold-start the dead member's durable state under a fresh stack. The
+	// RAM file system died with the machine; dlfm.Open's recovery rebuilds
+	// the link set from the WAL and re-materializes contents from the archive.
+	fsrv, err := buildStack(sc, c.authority, c.clock, c.key, c.ttl, c.Engine)
+	if err != nil {
+		return fmt.Errorf("core: absorb %s: cold start: %w", id, err)
+	}
+	target := c.router.currentRing().Without(id)
+	if len(target.Members()) == 0 {
+		closeStack(fsrv)
+		return fmt.Errorf("core: no surviving members to absorb %q into", id)
+	}
+	// Re-enter the ring long enough to drain: traffic for its paths resumes
+	// against the recovered stack while they migrate out one by one.
+	c.router.beginRebalance(target, fsrv)
+	if err := c.rebalanceTo(target); err != nil {
+		c.router.abortRebalance()
+		closeStack(fsrv)
+		return err
+	}
+	c.router.finishRebalance(target)
+	c.router.dropMember(id)
+	closeStack(fsrv)
+	c.mu.Lock()
+	delete(c.deadCfg, id)
+	c.mu.Unlock()
+	c.Placements()
+	return nil
+}
+
+// rebalanceTo migrates every path whose owner differs between the current
+// placement and the target ring. Caller holds rebalanceMu with the target
+// installed as pending.
+func (c *Cluster) rebalanceTo(target *ring.Ring) error {
+	start := time.Now()
+	for _, srcID := range c.router.memberIDs() {
+		src, err := c.router.member(srcID)
+		if err != nil {
+			continue
+		}
+		for _, path := range src.DLFM.LinkedPaths() {
+			dstID := target.Lookup(path)
+			if dstID == srcID {
+				continue
+			}
+			dst, err := c.router.member(dstID)
+			if err != nil {
+				return fmt.Errorf("core: rebalance: target member %q: %w", dstID, err)
+			}
+			if err := c.migratePath(src, dst, path); err != nil {
+				return fmt.Errorf("core: migrate %s %s→%s: %w", path, srcID, dstID, err)
+			}
+		}
+	}
+	c.router.reg.Counter("ring.rebalance_ms").Add(time.Since(start).Milliseconds())
+	c.router.reg.Histogram("ring.rebalance").Observe(time.Since(start))
+	return nil
+}
+
+// migratePath moves one linked path between members: gate new traffic, drain
+// and freeze the source, hand the archive history over (chunks dedup by
+// hash), import the repository bundle, point the router at the destination,
+// evict the source. On any failure the source remains the owner.
+func (c *Cluster) migratePath(src, dst *FileServer, path string) error {
+	gate := c.router.gate(path)
+	defer c.router.ungate(path, gate)
+
+	// Drain + freeze. A long-running writer can exceed one OpenWait; retry a
+	// few times before giving up on the whole rebalance.
+	var b *dlfm.FileBundle
+	var err error
+	for attempt := 0; ; attempt++ {
+		b, err = src.DLFM.BeginExport(path)
+		if err == nil || attempt >= 2 {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+
+	recs := src.Archive.ExportHistory(c.authority, path)
+	if _, err := dst.Archive.ImportHistory(c.authority, path, recs, src.Archive.FetchBlob); err != nil {
+		src.DLFM.AbortExport(path)
+		return err
+	}
+	if err := dst.DLFM.ImportBundle(b); err != nil {
+		_ = dst.Archive.Drop(c.authority, path)
+		src.DLFM.AbortExport(path)
+		return err
+	}
+	// The destination owns the path from here: stragglers parked on the
+	// source's freeze fail over via the session retry, new traffic routes by
+	// the override until the ring swap makes it implicit.
+	c.router.setOverride(path, dst.Name)
+	if err := src.DLFM.EndExport(path, true); err != nil {
+		return err
+	}
+	if err := src.Archive.Drop(c.authority, path); err != nil {
+		return err
+	}
+	c.router.reg.Counter("ring.moves").Inc()
+	return nil
+}
+
+func lastSlashIdx(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"datalinks/internal/fs"
+	"datalinks/internal/token"
+)
+
+// ClusterSession is an application identity working against a scale-out
+// deployment. Opens resolve the path's current owner through the router; if
+// a migration lands between routing and the open (the open reaches a member
+// the path just left), the open retries once against the new owner — the
+// same URL, the same token, a different member.
+type ClusterSession struct {
+	c    *Cluster
+	cred fs.Cred
+}
+
+// NewSession returns a cluster session with the given uid.
+func (c *Cluster) NewSession(uid fs.UID) *ClusterSession {
+	return &ClusterSession{c: c, cred: fs.Cred{UID: uid}}
+}
+
+// Cred returns the session's credentials.
+func (s *ClusterSession) Cred() fs.Cred { return s.cred }
+
+func (s *ClusterSession) open(url string, mode fs.AccessMode) (*File, error) {
+	server, name, err := SplitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	if server != s.c.authority {
+		return nil, fmt.Errorf("core: URL authority %q is not this cluster (%q)", server, s.c.authority)
+	}
+	cleanPath, _, _ := token.Extract(name)
+	var lastErr error
+	var lastOwner *FileServer
+	for attempt := 0; attempt < 2; attempt++ {
+		m, err := s.c.router.owner(cleanPath)
+		if err != nil {
+			return nil, err
+		}
+		if attempt > 0 && m == lastOwner {
+			// Ownership did not change; the first error was real.
+			return nil, lastErr
+		}
+		fd, err := m.LFS.Open(s.cred, name, mode)
+		if err == nil {
+			return &File{srv: m, path: cleanPath, fd: fd, write: mode&fs.AccessWrite != 0}, nil
+		}
+		lastErr, lastOwner = err, m
+	}
+	return nil, lastErr
+}
+
+// OpenRead opens a linked file for reading (URL from DLURLCOMPLETE).
+func (s *ClusterSession) OpenRead(url string) (*File, error) { return s.open(url, fs.AccessRead) }
+
+// OpenWrite begins an in-place update transaction (URL from
+// DLURLCOMPLETEWRITE).
+func (s *ClusterSession) OpenWrite(url string) (*File, error) { return s.open(url, fs.ReadWrite) }

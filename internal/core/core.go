@@ -32,6 +32,11 @@ type ServerConfig struct {
 	Name string
 	// UpcallLatency simulates the DLFS↔DLFM IPC cost (0 = in-process direct).
 	UpcallLatency time.Duration
+	// UpcallWidth bounds concurrent DLFS→DLFM upcalls on this server (0 =
+	// unbounded). The bound encloses UpcallLatency, so it models a finite
+	// IPC channel — per-server capacity that scale-out experiments divide
+	// work across.
+	UpcallWidth int
 	// ArchiveLatency simulates the archive device (§4.4).
 	ArchiveLatency time.Duration
 	// Strict enables the §4.5 strict-link-check extension on this server.
@@ -178,7 +183,24 @@ func NewSystem(cfg Config) (*System, error) {
 
 // addServer constructs one file server stack and attaches it to the engine.
 func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
-	phys := fs.NewWithClock(sys.clock)
+	fsrv, err := buildStack(sc, sc.Name, sys.clock, sys.key, sys.ttl, sys.Engine)
+	if err != nil {
+		return nil, err
+	}
+	sys.mu.Lock()
+	sys.servers[sc.Name] = fsrv
+	sys.mu.Unlock()
+	sys.Engine.AttachFileServer(fsrv.DLFM, sys.key, sys.ttl)
+	return fsrv, nil
+}
+
+// buildStack constructs one file server stack: physical FS, archive tier,
+// DLFM (durable repository when configured), and the DLFS upcall plane.
+// dlfmName is the name the DLFM registers under — a System passes the
+// server's own name, a Cluster passes the shared authority so DATALINK URLs,
+// archive keys, and host metadata stay identical across members.
+func buildStack(sc ServerConfig, dlfmName string, clock func() time.Time, key []byte, ttl time.Duration, host dlfm.Host) (*FileServer, error) {
+	phys := fs.NewWithClock(clock)
 	fsyncPolicy, err := fsyncer.ParsePolicy(sc.ArchiveFsync)
 	if err != nil {
 		return nil, fmt.Errorf("core: server %s: %w", sc.Name, err)
@@ -186,7 +208,7 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 	// One registry per server, shared between DLFM and the archive tier so
 	// the fsync/pack counters surface next to the upcall/archive ones.
 	reg := metrics.NewRegistry()
-	arch, err := archive.NewTiered(sc.ArchiveLatency, sys.clock, archive.TierConfig{
+	arch, err := archive.NewTiered(sc.ArchiveLatency, clock, archive.TierConfig{
 		Dir:             sc.ArchiveDir,
 		MemoryBudget:    sc.ArchiveMemoryBudget,
 		GCInterval:      sc.ArchiveGCInterval,
@@ -206,14 +228,14 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 		return nil, fmt.Errorf("core: server %s: %w", sc.Name, err)
 	}
 	srv, recovery, err := dlfm.Open(dlfm.Config{
-		Name:                sc.Name,
+		Name:                dlfmName,
 		Phys:                phys,
 		Archive:             arch,
-		Host:                sys.Engine,
-		TokenKey:            sys.key,
-		Clock:               sys.clock,
+		Host:                host,
+		TokenKey:            key,
+		Clock:               clock,
 		OpenWait:            sc.OpenWait,
-		TokenTTL:            sys.ttl,
+		TokenTTL:            ttl,
 		QuarantineTTL:       sc.QuarantineTTL,
 		GCInterval:          sc.QuarantineGCInterval,
 		Metrics:             reg,
@@ -239,10 +261,6 @@ func (sys *System) addServer(sc ServerConfig) (*FileServer, error) {
 		arch.Close()
 		return nil, err
 	}
-	sys.mu.Lock()
-	sys.servers[sc.Name] = fsrv
-	sys.mu.Unlock()
-	sys.Engine.AttachFileServer(srv, sys.key, sys.ttl)
 	return fsrv, nil
 }
 
@@ -284,7 +302,7 @@ func wireUpcallPlane(fsrv *FileServer, srv *dlfm.Server, sc ServerConfig) error 
 		// front, so injected faults surface directly to DLFS callers.
 		svc = netCfg.Client.Chaos.WrapService(srv)
 	}
-	transport := upcall.NewInProc(svc, sc.UpcallLatency, upReg)
+	transport := upcall.NewInProcWidth(svc, sc.UpcallLatency, sc.UpcallWidth, upReg)
 	mount := dlfs.New(dlfs.Config{
 		Phys:    fsrv.Phys,
 		Upcall:  transport,

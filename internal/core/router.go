@@ -1,0 +1,292 @@
+package core
+
+// Router resolves link paths to cluster members and is the engine's Conn for
+// the whole authority. Placement is: per-path override (set while a rebalance
+// is partially applied) else the current ring. A path being migrated has a
+// gate — lookups block until the move finishes, then resolve against the new
+// placement, so no caller ever acts on the member a path is mid-flight away
+// from. New links during a rebalance place by the pending ring (plus an
+// immediate override), so they never need to migrate moments after linking.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datalinks/internal/datalink"
+	"datalinks/internal/engine"
+	"datalinks/internal/metrics"
+	"datalinks/internal/ring"
+	"datalinks/internal/sqlmini"
+)
+
+// Router routes paths to members. It implements engine.Conn and
+// engine.Restorer for the cluster authority.
+type Router struct {
+	authority string
+	reg       *metrics.Registry
+
+	// rebalanceMu serializes membership changes end to end.
+	rebalanceMu sync.Mutex
+
+	mu        sync.Mutex
+	ring      *ring.Ring
+	pending   *ring.Ring // target ring while a rebalance is in flight
+	members   map[string]*FileServer
+	overrides map[string]string        // path -> member id, until the next ring swap
+	moving    map[string]chan struct{} // per-path migration gates
+}
+
+func newRouter(authority string, r *ring.Ring) *Router {
+	return &Router{
+		authority: authority,
+		reg:       metrics.NewRegistry(),
+		ring:      r,
+		members:   make(map[string]*FileServer),
+		overrides: make(map[string]string),
+		moving:    make(map[string]chan struct{}),
+	}
+}
+
+// Metrics returns the router's registry (ring.moves, ring.forwards,
+// ring.rebalance_ms, ring.placement.<member>).
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
+
+// Ring returns the current routing ring.
+func (r *Router) Ring() *ring.Ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring
+}
+
+func (r *Router) currentRing() *ring.Ring { return r.Ring() }
+
+func (r *Router) addMember(m *FileServer) {
+	r.mu.Lock()
+	r.members[m.Name] = m
+	r.mu.Unlock()
+}
+
+func (r *Router) dropMember(id string) {
+	r.mu.Lock()
+	delete(r.members, id)
+	r.mu.Unlock()
+}
+
+func (r *Router) member(id string) (*FileServer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no cluster member %q", id)
+	}
+	return m, nil
+}
+
+func (r *Router) memberIDs() []string {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// owner resolves the member currently serving path, waiting out any in-flight
+// migration of it.
+func (r *Router) owner(path string) (*FileServer, error) {
+	r.mu.Lock()
+	for {
+		ch, inFlight := r.moving[path]
+		if !inFlight {
+			break
+		}
+		r.mu.Unlock()
+		r.reg.Counter("ring.forwards").Inc()
+		<-ch
+		r.mu.Lock()
+	}
+	id, ok := r.overrides[path]
+	if !ok {
+		id = r.ring.Lookup(path)
+	}
+	m, live := r.members[id]
+	r.mu.Unlock()
+	if !live {
+		return nil, fmt.Errorf("core: member %q (owner of %s) is down", id, path)
+	}
+	return m, nil
+}
+
+// place resolves the member a NEW link of path should land on. During a
+// rebalance that is the pending ring's owner — recorded as an override so
+// every lookup until the swap agrees.
+func (r *Router) place(path string) (*FileServer, error) {
+	r.mu.Lock()
+	for {
+		ch, inFlight := r.moving[path]
+		if !inFlight {
+			break
+		}
+		r.mu.Unlock()
+		r.reg.Counter("ring.forwards").Inc()
+		<-ch
+		r.mu.Lock()
+	}
+	var id string
+	if over, ok := r.overrides[path]; ok {
+		id = over
+	} else if r.pending != nil {
+		id = r.pending.Lookup(path)
+		r.overrides[path] = id
+	} else {
+		id = r.ring.Lookup(path)
+	}
+	m, live := r.members[id]
+	r.mu.Unlock()
+	if !live {
+		return nil, fmt.Errorf("core: member %q (placement of %s) is down", id, path)
+	}
+	return m, nil
+}
+
+// gate marks path as migrating; owner/place lookups for it block until
+// ungate. Returns the channel to close.
+func (r *Router) gate(path string) chan struct{} {
+	ch := make(chan struct{})
+	r.mu.Lock()
+	r.moving[path] = ch
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *Router) ungate(path string, ch chan struct{}) {
+	r.mu.Lock()
+	if r.moving[path] == ch {
+		delete(r.moving, path)
+	}
+	r.mu.Unlock()
+	close(ch)
+}
+
+func (r *Router) setOverride(path, id string) {
+	r.mu.Lock()
+	r.overrides[path] = id
+	r.mu.Unlock()
+}
+
+// beginRebalance installs the target ring as pending (new links place by it)
+// and, when the rebalance introduces a member, makes its stack routable.
+func (r *Router) beginRebalance(target *ring.Ring, joining *FileServer) {
+	r.mu.Lock()
+	r.pending = target
+	if joining != nil {
+		r.members[joining.Name] = joining
+	}
+	r.mu.Unlock()
+}
+
+// finishRebalance swaps the ring; every override becomes implied by the new
+// ring, so the override table resets.
+func (r *Router) finishRebalance(target *ring.Ring) {
+	r.mu.Lock()
+	r.ring = target
+	r.pending = nil
+	r.overrides = make(map[string]string)
+	r.mu.Unlock()
+}
+
+// abortRebalance drops the pending ring after a failed rebalance. Overrides
+// for paths that did migrate remain — those paths live on their new member
+// and must keep routing there even under the old ring.
+func (r *Router) abortRebalance() {
+	r.mu.Lock()
+	r.pending = nil
+	r.mu.Unlock()
+}
+
+// ---- engine.Conn ----
+
+var (
+	_ engine.Conn     = (*Router)(nil)
+	_ engine.Restorer = (*Router)(nil)
+)
+
+// Link routes link processing to the placing member and returns its XRM, so
+// the host transaction enlists exactly the member that processed the link
+// even if the ring changes between the two steps.
+func (r *Router) Link(hostTxn uint64, path string, opts datalink.ColumnOptions) (sqlmini.XRM, error) {
+	m, err := r.place(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.DLFM.LinkFile(hostTxn, path, opts); err != nil {
+		return nil, err
+	}
+	return m.DLFM, nil
+}
+
+// Unlink routes unlink processing to the owning member.
+func (r *Router) Unlink(hostTxn uint64, path string) (sqlmini.XRM, error) {
+	m, err := r.owner(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.DLFM.UnlinkFile(hostTxn, path); err != nil {
+		return nil, err
+	}
+	return m.DLFM, nil
+}
+
+// ReadFileContent reads a linked file's content from its owner.
+func (r *Router) ReadFileContent(path string) ([]byte, error) {
+	m, err := r.owner(path)
+	if err != nil {
+		return nil, err
+	}
+	return m.DLFM.ReadFileContent(path)
+}
+
+// RestoreAsOf rewinds every member's files to the state id (§4.4 coordinated
+// restore, fanned out).
+func (r *Router) RestoreAsOf(stateID uint64) error {
+	for _, id := range r.memberIDs() {
+		m, err := r.member(id)
+		if err != nil {
+			continue
+		}
+		if err := m.DLFM.RestoreAsOf(stateID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReconcileLinks partitions the desired link set by owner and reconciles each
+// member against its slice (members with no desired paths still reconcile, to
+// dissolve links the restored database no longer references).
+func (r *Router) ReconcileLinks(desired map[string]datalink.ColumnOptions) error {
+	parts := make(map[string]map[string]datalink.ColumnOptions)
+	for _, id := range r.memberIDs() {
+		parts[id] = make(map[string]datalink.ColumnOptions)
+	}
+	for path, opts := range desired {
+		m, err := r.owner(path)
+		if err != nil {
+			return err
+		}
+		parts[m.Name][path] = opts
+	}
+	for _, id := range r.memberIDs() {
+		m, err := r.member(id)
+		if err != nil {
+			continue
+		}
+		if err := m.DLFM.ReconcileLinks(parts[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package dlfm
 
 import (
 	"fmt"
+	"sort"
 
 	"datalinks/internal/datalink"
 	"datalinks/internal/fs"
@@ -13,6 +14,22 @@ import (
 // manages must match the references in the restored database — links made
 // after the restore point are dissolved, links that existed then are
 // re-established. This runs outside 2PC (it is itself part of a restore).
+
+// LinkedPaths lists every path this server manages, sorted. The cluster
+// router snapshots it to compute a rebalance work list.
+func (s *Server) LinkedPaths() []string {
+	tbl, err := s.repo.Table("dlfm_files")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	tbl.Scan(func(_ sqlmini.RowID, row sqlmini.Row) bool {
+		out = append(out, decodeFileRow(row).path)
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
 
 // ReconcileLinks makes the repository's linked-file set equal `desired`
 // (path -> column options). File permissions are adjusted accordingly.

@@ -84,7 +84,10 @@ func (e *Engine) adoptRestoredLog(prefix *wal.Log, stateID uint64) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		srv := conns[name].agent.Server()
+		srv, ok := conns[name].conn.(Restorer)
+		if !ok {
+			return fmt.Errorf("engine: file server %q does not support coordinated restore", name)
+		}
 		if err := srv.RestoreAsOf(stateID); err != nil {
 			return err
 		}

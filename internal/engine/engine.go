@@ -21,10 +21,63 @@ import (
 	"datalinks/internal/token"
 )
 
-// serverConn is the engine's connection to one file server's DLFM.
-type serverConn struct {
+// Conn is the engine's connection to one file-server authority. For a single
+// DLFM it is a thin agent wrapper; for a scale-out cluster it is a router that
+// resolves the path to a member behind the authority name. Link and Unlink
+// return the XRM the host transaction must enlist — returning it from the same
+// call that performed the link pins the sub-transaction to whichever member
+// actually processed it, so a concurrent ring change between "link" and
+// "enlist" cannot split the two across different servers.
+type Conn interface {
+	Link(hostTxn uint64, path string, opts datalink.ColumnOptions) (sqlmini.XRM, error)
+	Unlink(hostTxn uint64, path string) (sqlmini.XRM, error)
+	// ReadFileContent returns a linked file's current content (content hooks).
+	ReadFileContent(path string) ([]byte, error)
+}
+
+// Restorer is the optional Conn capability behind the coordinated restore of
+// §4.4: rewind file contents to a state id and reconcile the managed-file set
+// with the restored database. A cluster conn fans both out over its members.
+type Restorer interface {
+	RestoreAsOf(stateID uint64) error
+	ReconcileLinks(desired map[string]datalink.ColumnOptions) error
+}
+
+// agentConn adapts the classic one-DLFM agent to Conn.
+type agentConn struct {
 	agent *dlfm.Agent
-	auth  *token.Authority
+}
+
+func (a agentConn) Link(hostTxn uint64, path string, opts datalink.ColumnOptions) (sqlmini.XRM, error) {
+	if err := a.agent.LinkFile(hostTxn, path, opts); err != nil {
+		return nil, err
+	}
+	return a.agent.Server(), nil
+}
+
+func (a agentConn) Unlink(hostTxn uint64, path string) (sqlmini.XRM, error) {
+	if err := a.agent.UnlinkFile(hostTxn, path); err != nil {
+		return nil, err
+	}
+	return a.agent.Server(), nil
+}
+
+func (a agentConn) ReadFileContent(path string) ([]byte, error) {
+	return a.agent.Server().ReadFileContent(path)
+}
+
+func (a agentConn) RestoreAsOf(stateID uint64) error {
+	return a.agent.Server().RestoreAsOf(stateID)
+}
+
+func (a agentConn) ReconcileLinks(desired map[string]datalink.ColumnOptions) error {
+	return a.agent.Server().ReconcileLinks(desired)
+}
+
+// serverConn pairs a Conn with the token authority for its shared key.
+type serverConn struct {
+	conn Conn
+	auth *token.Authority
 }
 
 // registration records a linked file the engine knows about: which table and
@@ -94,11 +147,19 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 // AttachFileServer connects the engine to a DLFM. tokenKey must equal the
 // DLFM's configured key (the shared secret of §4.1).
 func (e *Engine) AttachFileServer(srv *dlfm.Server, tokenKey []byte, ttl time.Duration) {
+	e.AttachConn(srv.Name(), agentConn{agent: srv.ConnectAgent()}, tokenKey, ttl)
+}
+
+// AttachConn connects the engine to a file-server authority through an
+// arbitrary Conn — the scale-out cluster attaches its router here under the
+// cluster authority name, so DATALINK URLs stay dlfs://<authority>/... no
+// matter how many members serve them.
+func (e *Engine) AttachConn(name string, c Conn, tokenKey []byte, ttl time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.servers[srv.Name()] = &serverConn{
-		agent: srv.ConnectAgent(),
-		auth:  token.NewAuthority(tokenKey, e.clock, ttl),
+	e.servers[name] = &serverConn{
+		conn: c,
+		auth: token.NewAuthority(tokenKey, e.clock, ttl),
 	}
 }
 
@@ -189,10 +250,11 @@ func (e *Engine) link(txn *sqlmini.Txn, tbl *sqlmini.Table, col sqlmini.Column, 
 	if err != nil {
 		return err
 	}
-	if err := c.agent.LinkFile(txn.ID(), l.Path, col.DL); err != nil {
+	xrm, err := c.conn.Link(txn.ID(), l.Path, col.DL)
+	if err != nil {
 		return fmt.Errorf("engine: link %s: %w", l.URL(), err)
 	}
-	txn.Enlist(c.agent.Server())
+	txn.Enlist(xrm)
 	e.reg.Counter("engine.links").Inc()
 	reg := registration{table: tbl.Name, col: col.Name, opts: col.DL}
 	key := regKey(l.Server, l.Path)
@@ -213,10 +275,11 @@ func (e *Engine) unlink(txn *sqlmini.Txn, l datalink.Link, col sqlmini.Column) e
 	if err != nil {
 		return err
 	}
-	if err := c.agent.UnlinkFile(txn.ID(), l.Path); err != nil {
+	xrm, err := c.conn.Unlink(txn.ID(), l.Path)
+	if err != nil {
 		return fmt.Errorf("engine: unlink %s: %w", l.URL(), err)
 	}
-	txn.Enlist(c.agent.Server())
+	txn.Enlist(xrm)
 	e.reg.Counter("engine.unlinks").Inc()
 	key := regKey(l.Server, l.Path)
 	txn.OnCommit(func() {
@@ -350,7 +413,7 @@ func (e *Engine) applyContentHook(txn *sqlmini.Txn, reg registration, server, pa
 	if err != nil {
 		return err
 	}
-	content, err := c.agent.Server().ReadFileContent(path)
+	content, err := c.conn.ReadFileContent(path)
 	if err != nil {
 		return err
 	}

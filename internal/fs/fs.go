@@ -12,18 +12,30 @@
 //
 // Locking is deliberately fine-grained so concurrent clients scale:
 //
-//   - treeMu, a read/write lock, guards only the namespace — the children
-//     maps, link counts and the inode-number allocator. Path resolution takes
-//     it shared; create/remove/rename take it exclusive, briefly.
+//   - Every directory carries its own namespace lock (Inode.nsMu) guarding
+//     just its children map. Path resolution walks hand-over-hand, holding
+//     one directory's read lock at a time; create/remove/rename write-lock
+//     only the parent directories they mutate. Namespace traffic in one
+//     directory never serializes against another — there is no tree-wide
+//     lock.
 //   - Every inode carries its own read/write lock (Inode.mu) guarding its
 //     attributes and data. Content reads copy under the inode's read lock
 //     only, so readers of different files — and multiple readers of the same
 //     file — never serialize against each other or against namespace ops.
+//   - Link counts and the inode-number allocator are atomics.
 //   - Advisory locks (fs_lockctl) have a separate per-inode mutex so lock
 //     traffic on one file cannot block I/O on another.
 //   - Op counters are atomics, off every lock entirely.
 //
-// Lock order: treeMu before any Inode.mu; never two Inode.mu at once.
+// Lock order: when an operation needs two directory nsMu locks (Rmdir's
+// emptiness check, Rename's two parents) it acquires them in increasing
+// inode-number order; everything else holds at most one nsMu. An Inode.mu
+// may be taken while holding an nsMu (permission checks, mtime touches),
+// never the reverse. lkMu is leaf-level and independent.
+//
+// With no tree-wide lock, a path resolved by one operation can be
+// concurrently renamed by another; operations act atomically on the inodes
+// resolution yielded, the same lookup/op race every real VFS exposes.
 package fs
 
 import (
@@ -139,9 +151,16 @@ type Inode struct {
 	mtime time.Time
 	data  extent.Buffer
 
-	// Namespace state, guarded by FS.treeMu.
+	// nsMu is this directory's namespace lock, guarding children. Mutating
+	// a directory takes it exclusive; resolution and listing take it shared.
+	// Unused on files.
+	nsMu     sync.RWMutex
 	children map[string]*Inode // directories only
-	nlink    int               // 0 once unlinked; data stays for open handles
+
+	// nlink is the link count: 0 once unlinked (data stays readable for open
+	// handles). For directories it doubles as the liveness flag Create checks
+	// so a racing Rmdir cannot resurrect a detached directory.
+	nlink atomic.Int32
 
 	// Advisory lock state, guarded by its own mutex so lock traffic on one
 	// file never blocks content I/O on another.
@@ -187,10 +206,9 @@ type Stats struct {
 
 // FS is an in-memory file system. All methods are safe for concurrent use.
 type FS struct {
-	treeMu sync.RWMutex // namespace: children maps, nlink, inode allocator
-	root   *Inode
-	next   uint64
-	clock  Clock
+	root  *Inode
+	next  atomic.Uint64 // inode-number allocator
+	clock Clock
 
 	Stats Stats
 }
@@ -202,7 +220,8 @@ func New() *FS {
 
 // NewWithClock returns an empty file system using the given clock.
 func NewWithClock(clock Clock) *FS {
-	f := &FS{clock: clock, next: 1}
+	f := &FS{clock: clock}
+	f.next.Store(1)
 	f.root = &Inode{
 		ino:      1,
 		typ:      TypeDir,
@@ -210,8 +229,8 @@ func NewWithClock(clock Clock) *FS {
 		mode:     0o755,
 		mtime:    clock(),
 		children: make(map[string]*Inode),
-		nlink:    1,
 	}
+	f.root.nlink.Store(1)
 	return f
 }
 
@@ -238,8 +257,9 @@ func split(p string) (dir, base string) {
 	return dir, base
 }
 
-// resolve walks the tree to the inode at p. Caller must hold f.treeMu
-// (shared or exclusive).
+// resolve walks the tree to the inode at p, hand-over-hand: each step holds
+// only the current directory's namespace read lock, so resolutions in
+// disjoint subtrees never contend.
 func (f *FS) resolve(p string) (*Inode, error) {
 	p, err := clean(p)
 	if err != nil {
@@ -253,7 +273,9 @@ func (f *FS) resolve(p string) (*Inode, error) {
 		if cur.typ != TypeDir {
 			return nil, ErrNotDir
 		}
+		cur.nsMu.RLock()
 		child, ok := cur.children[part]
+		cur.nsMu.RUnlock()
 		if !ok {
 			return nil, ErrNotExist
 		}
@@ -294,8 +316,6 @@ func permCheck(n *Inode, cred Cred, want AccessMode) bool {
 // target (matching UNIX fs_lookup semantics used by LFS before fs_open).
 func (f *FS) Lookup(p string) (*Inode, error) {
 	f.Stats.Lookups.Add(1)
-	f.treeMu.RLock()
-	defer f.treeMu.RUnlock()
 	return f.resolve(p)
 }
 
@@ -317,37 +337,52 @@ func (f *FS) OpenCheck(n *Inode, cred Cred, mode AccessMode) error {
 	return nil
 }
 
+// lockParent resolves the parent directory of p and write-locks its
+// namespace, verifying under the lock that the directory is still linked
+// (a racing Rmdir may have detached it after resolution). The caller must
+// release dir.nsMu.
+func (f *FS) lockParent(p string) (dir *Inode, base string, err error) {
+	dirPath, base := split(p)
+	dir, err = f.resolve(dirPath)
+	if err != nil {
+		return nil, "", err
+	}
+	if dir.typ != TypeDir {
+		return nil, "", ErrNotDir
+	}
+	dir.nsMu.Lock()
+	if dir.nlink.Load() == 0 {
+		dir.nsMu.Unlock()
+		return nil, "", ErrNotExist
+	}
+	return dir, base, nil
+}
+
 // Create makes a new empty file at p owned by cred with the given mode.
 func (f *FS) Create(p string, cred Cred, mode FileMode) (*Inode, error) {
 	p, err := clean(p)
 	if err != nil {
 		return nil, err
 	}
-	f.treeMu.Lock()
-	defer f.treeMu.Unlock()
-	dirPath, base := split(p)
-	dir, err := f.resolve(dirPath)
+	dir, base, err := f.lockParent(p)
 	if err != nil {
 		return nil, err
 	}
-	if dir.typ != TypeDir {
-		return nil, ErrNotDir
-	}
+	defer dir.nsMu.Unlock()
 	if !permCheck(dir, cred, AccessWrite) {
 		return nil, ErrPermission
 	}
 	if _, ok := dir.children[base]; ok {
 		return nil, ErrExist
 	}
-	f.next++
 	n := &Inode{
-		ino:   f.next,
+		ino:   f.next.Add(1),
 		typ:   TypeFile,
 		uid:   cred.UID,
 		mode:  mode,
 		mtime: f.clock(),
-		nlink: 1,
 	}
+	n.nlink.Store(1)
 	dir.children[base] = n
 	f.touch(dir)
 	return n, nil
@@ -367,32 +402,26 @@ func (f *FS) Mkdir(p string, cred Cred, mode FileMode) (*Inode, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.treeMu.Lock()
-	defer f.treeMu.Unlock()
-	dirPath, base := split(p)
-	dir, err := f.resolve(dirPath)
+	dir, base, err := f.lockParent(p)
 	if err != nil {
 		return nil, err
 	}
-	if dir.typ != TypeDir {
-		return nil, ErrNotDir
-	}
+	defer dir.nsMu.Unlock()
 	if !permCheck(dir, cred, AccessWrite) {
 		return nil, ErrPermission
 	}
 	if _, ok := dir.children[base]; ok {
 		return nil, ErrExist
 	}
-	f.next++
 	n := &Inode{
-		ino:      f.next,
+		ino:      f.next.Add(1),
 		typ:      TypeDir,
 		uid:      cred.UID,
 		mode:     mode,
 		mtime:    f.clock(),
 		children: make(map[string]*Inode),
-		nlink:    1,
 	}
+	n.nlink.Store(1)
 	dir.children[base] = n
 	return n, nil
 }
@@ -424,13 +453,11 @@ func (f *FS) Remove(p string, cred Cred) error {
 	if err != nil {
 		return err
 	}
-	f.treeMu.Lock()
-	defer f.treeMu.Unlock()
-	dirPath, base := split(p)
-	dir, err := f.resolve(dirPath)
+	dir, base, err := f.lockParent(p)
 	if err != nil {
 		return err
 	}
+	defer dir.nsMu.Unlock()
 	n, ok := dir.children[base]
 	if !ok {
 		return ErrNotExist
@@ -442,8 +469,7 @@ func (f *FS) Remove(p string, cred Cred) error {
 		return ErrPermission
 	}
 	delete(dir.children, base)
-	n.nlink--
-	if n.nlink == 0 {
+	if n.nlink.Add(-1) == 0 {
 		f.releaseContent(n)
 	}
 	f.touch(dir)
@@ -459,7 +485,11 @@ func (f *FS) releaseContent(n *Inode) {
 	n.mu.Unlock()
 }
 
-// Rmdir removes an empty directory at p.
+// Rmdir removes an empty directory at p. It needs two nsMu locks at once —
+// the parent's (to drop the entry) and the target's (to check emptiness and
+// tombstone it against racing Creates) — so it acquires them in inode-number
+// order, backing off and re-verifying the binding when the target's ino is
+// the smaller one (possible only after a directory rename).
 func (f *FS) Rmdir(p string, cred Cred) error {
 	p, err := clean(p)
 	if err != nil {
@@ -468,13 +498,11 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 	if p == "/" {
 		return ErrInvalid
 	}
-	f.treeMu.Lock()
-	defer f.treeMu.Unlock()
-	dirPath, base := split(p)
-	dir, err := f.resolve(dirPath)
+	dir, base, err := f.lockParent(p)
 	if err != nil {
 		return err
 	}
+	defer dir.nsMu.Unlock()
 	n, ok := dir.children[base]
 	if !ok {
 		return ErrNotExist
@@ -482,6 +510,22 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 	if n.typ != TypeDir {
 		return ErrNotDir
 	}
+	if n.ino > dir.ino {
+		n.nsMu.Lock()
+	} else {
+		dir.nsMu.Unlock()
+		n.nsMu.Lock()
+		dir.nsMu.Lock()
+		if dir.nlink.Load() == 0 {
+			n.nsMu.Unlock()
+			return ErrNotExist
+		}
+		if cur, ok := dir.children[base]; !ok || cur != n {
+			n.nsMu.Unlock()
+			return ErrNotExist
+		}
+	}
+	defer n.nsMu.Unlock()
 	if len(n.children) != 0 {
 		return ErrNotEmpty
 	}
@@ -489,7 +533,31 @@ func (f *FS) Rmdir(p string, cred Cred) error {
 		return ErrPermission
 	}
 	delete(dir.children, base)
+	n.nlink.Store(0)
 	return nil
+}
+
+// lockDirPair write-locks two directory namespaces in inode-number order
+// (one lock if they are the same directory) — the package's lock-order
+// discipline for two-lock operations.
+func lockDirPair(a, b *Inode) {
+	switch {
+	case a == b:
+		a.nsMu.Lock()
+	case a.ino < b.ino:
+		a.nsMu.Lock()
+		b.nsMu.Lock()
+	default:
+		b.nsMu.Lock()
+		a.nsMu.Lock()
+	}
+}
+
+func unlockDirPair(a, b *Inode) {
+	a.nsMu.Unlock()
+	if a != b {
+		b.nsMu.Unlock()
+	}
 }
 
 // Rename moves oldp to newp, replacing any existing file at newp.
@@ -503,8 +571,6 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 	if err != nil {
 		return err
 	}
-	f.treeMu.Lock()
-	defer f.treeMu.Unlock()
 	oldDirPath, oldBase := split(oldp)
 	newDirPath, newBase := split(newp)
 	oldDir, err := f.resolve(oldDirPath)
@@ -514,6 +580,14 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 	newDir, err := f.resolve(newDirPath)
 	if err != nil {
 		return err
+	}
+	if oldDir.typ != TypeDir || newDir.typ != TypeDir {
+		return ErrNotDir
+	}
+	lockDirPair(oldDir, newDir)
+	defer unlockDirPair(oldDir, newDir)
+	if oldDir.nlink.Load() == 0 || newDir.nlink.Load() == 0 {
+		return ErrNotExist
 	}
 	n, ok := oldDir.children[oldBase]
 	if !ok {
@@ -526,8 +600,7 @@ func (f *FS) Rename(oldp, newp string, cred Cred) error {
 		if existing.typ == TypeDir {
 			return ErrIsDir
 		}
-		existing.nlink--
-		if existing.nlink == 0 {
+		if existing.nlink.Add(-1) == 0 {
 			f.releaseContent(existing)
 		}
 	}
@@ -653,8 +726,6 @@ func (f *FS) SetMtime(n *Inode, t time.Time) error {
 
 // ReadDir lists the entries of the directory at p in sorted order.
 func (f *FS) ReadDir(p string) ([]string, error) {
-	f.treeMu.RLock()
-	defer f.treeMu.RUnlock()
 	dir, err := f.resolve(p)
 	if err != nil {
 		return nil, err
@@ -662,19 +733,19 @@ func (f *FS) ReadDir(p string) ([]string, error) {
 	if dir.typ != TypeDir {
 		return nil, ErrNotDir
 	}
+	dir.nsMu.RLock()
 	names := make([]string, 0, len(dir.children))
 	for name := range dir.children {
 		names = append(names, name)
 	}
+	dir.nsMu.RUnlock()
 	sort.Strings(names)
 	return names, nil
 }
 
 // ReadFile returns a copy of the whole file content at p.
 func (f *FS) ReadFile(p string) ([]byte, error) {
-	f.treeMu.RLock()
 	n, err := f.resolve(p)
-	f.treeMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -693,6 +764,10 @@ func (f *FS) WriteFile(p string, data []byte) error {
 	n, err := f.Lookup(p)
 	if errors.Is(err, ErrNotExist) {
 		n, err = f.Create(p, Cred{UID: Root}, 0o644)
+		if errors.Is(err, ErrExist) {
+			// A concurrent WriteFile created it between lookup and create.
+			n, err = f.Lookup(p)
+		}
 	}
 	if err != nil {
 		return err
@@ -719,9 +794,7 @@ func (f *FS) Snapshot(n *Inode) (*extent.Snapshot, error) {
 
 // SnapshotFile is Snapshot by path.
 func (f *FS) SnapshotFile(p string) (*extent.Snapshot, error) {
-	f.treeMu.RLock()
 	n, err := f.resolve(p)
-	f.treeMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -754,6 +827,9 @@ func (f *FS) WriteFileSnapshot(p string, snap *extent.Snapshot) error {
 	n, err := f.Lookup(p)
 	if errors.Is(err, ErrNotExist) {
 		n, err = f.Create(p, Cred{UID: Root}, 0o644)
+		if errors.Is(err, ErrExist) {
+			n, err = f.Lookup(p)
+		}
 	}
 	if err != nil {
 		return err
@@ -847,10 +923,10 @@ func (n *Inode) tryLockctlLocked(owner string, op LockOp) error {
 
 // ClearAllLocks discards every advisory lock and wakes all waiters.
 // Advisory locks are kernel state: a machine crash clears them, so restart
-// recovery calls this to model the reboot.
+// recovery calls this to model the reboot. Traversal snapshots each
+// directory under its own read lock; entries created or removed mid-sweep
+// may or may not be visited, which a reboot-time sweep tolerates.
 func (f *FS) ClearAllLocks() {
-	f.treeMu.RLock()
-	defer f.treeMu.RUnlock()
 	var rec func(n *Inode)
 	rec = func(n *Inode) {
 		n.lkMu.Lock()
@@ -861,11 +937,26 @@ func (f *FS) ClearAllLocks() {
 		}
 		n.lock.waiters = nil
 		n.lkMu.Unlock()
-		for _, child := range n.children {
+		for _, child := range snapshotChildren(n) {
 			rec(child)
 		}
 	}
 	rec(f.root)
+}
+
+// snapshotChildren copies a directory's entries under its namespace read
+// lock so traversals recurse without holding any lock.
+func snapshotChildren(n *Inode) []*Inode {
+	if n.typ != TypeDir {
+		return nil
+	}
+	n.nsMu.RLock()
+	kids := make([]*Inode, 0, len(n.children))
+	for _, child := range n.children {
+		kids = append(kids, child)
+	}
+	n.nsMu.RUnlock()
+	return kids
 }
 
 // LockState reports the current holders of a file's advisory lock; used by
@@ -882,9 +973,9 @@ func (f *FS) LockState(n *Inode) (writer string, readers []string) {
 }
 
 // Walk calls fn for every file (not directory) under root p, with its path.
+// Each directory is listed under its own read lock only; files created or
+// removed while the walk runs may or may not appear.
 func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
-	f.treeMu.RLock()
-	defer f.treeMu.RUnlock()
 	start, err := f.resolve(p)
 	if err != nil {
 		return err
@@ -899,18 +990,23 @@ func (f *FS) Walk(p string, fn func(path string, attr Attr)) error {
 			fn(prefix, attr)
 			return
 		}
+		n.nsMu.RLock()
 		names := make([]string, 0, len(n.children))
 		for name := range n.children {
 			names = append(names, name)
 		}
+		children := make([]*Inode, 0, len(names))
 		sort.Strings(names)
 		for _, name := range names {
-			child := n.children[name]
+			children = append(children, n.children[name])
+		}
+		n.nsMu.RUnlock()
+		for i, name := range names {
 			cp := prefix + "/" + name
 			if prefix == "/" {
 				cp = "/" + name
 			}
-			rec(cp, child)
+			rec(cp, children[i])
 		}
 	}
 	rec(p, start)

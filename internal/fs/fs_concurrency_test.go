@@ -95,6 +95,136 @@ func TestParallelReadersWritersDistinctFiles(t *testing.T) {
 	}
 }
 
+// TestParallelNamespaceSiblingDirs churns disjoint directories concurrently:
+// with per-directory namespace locks, create/remove/rename in one directory
+// must neither race nor serialize against another's. Cross-directory renames
+// and Rmdir/Create races on the same directory run alongside to exercise the
+// two-lock (inode-number-ordered) paths under -race.
+func TestParallelNamespaceSiblingDirs(t *testing.T) {
+	f := New()
+	const dirs = 8
+	for d := 0; d < dirs; d++ {
+		if err := f.MkdirAll(fmt.Sprintf("/d%d", d), Cred{UID: Root}, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Per-directory churn: create, list, rename within the dir, remove.
+	for d := 0; d < dirs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				p := fmt.Sprintf("/d%d/a%d", d, i)
+				q := fmt.Sprintf("/d%d/b%d", d, i)
+				if _, err := f.Create(p, Cred{UID: Root}, 0o644); err != nil {
+					errs <- err
+					return
+				}
+				if err := f.Rename(p, q, Cred{UID: Root}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := f.ReadDir(fmt.Sprintf("/d%d", d)); err != nil {
+					errs <- err
+					return
+				}
+				if err := f.Remove(q, Cred{UID: Root}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(d)
+	}
+	// Cross-directory renames between adjacent dirs (two-lock path).
+	for d := 0; d < dirs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			src := fmt.Sprintf("/d%d", d)
+			dst := fmt.Sprintf("/d%d", (d+1)%dirs)
+			for i := 0; i < 100; i++ {
+				p := fmt.Sprintf("%s/x-%d-%d", src, d, i)
+				q := fmt.Sprintf("%s/x-%d-%d", dst, d, i)
+				if _, err := f.Create(p, Cred{UID: Root}, 0o644); err != nil {
+					errs <- err
+					return
+				}
+				if err := f.Rename(p, q, Cred{UID: Root}); err != nil {
+					errs <- err
+					return
+				}
+				if err := f.Remove(q, Cred{UID: Root}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(d)
+	}
+	// Rmdir vs Create races on short-lived subdirectories: a create that
+	// loses the race must fail with ErrNotExist, never resurrect the dir.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				dp := fmt.Sprintf("/d%d/sub-%d-%d", g%dirs, g, i)
+				if _, err := f.Mkdir(dp, Cred{UID: Root}, 0o777); err != nil {
+					errs <- err
+					return
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					_, err := f.Create(dp+"/leak", Cred{UID: Root}, 0o644)
+					if err != nil && !errors.Is(err, ErrNotExist) {
+						errs <- err
+					}
+				}()
+				// Retry until the dir empties (the racing create may land first).
+				for {
+					err := f.Rmdir(dp, Cred{UID: Root})
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrNotEmpty) {
+						<-done
+						if err := f.Remove(dp+"/leak", Cred{UID: Root}); err != nil && !errors.Is(err, ErrNotExist) {
+							errs <- err
+							return
+						}
+						continue
+					}
+					errs <- err
+					return
+				}
+				<-done
+				// Tombstoned: nothing may be created inside it any more.
+				if _, err := f.Create(dp+"/late", Cred{UID: Root}, 0o644); !errors.Is(err, ErrNotExist) {
+					errs <- fmt.Errorf("create in removed dir = %v, want ErrNotExist", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All churn cleaned up: every directory is empty again.
+	for d := 0; d < dirs; d++ {
+		names, err := f.ReadDir(fmt.Sprintf("/d%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 0 {
+			t.Fatalf("/d%d not empty after churn: %v", d, names)
+		}
+	}
+}
+
 // TestParallelSharedFileReaders checks that concurrent readers of one file
 // return consistent full copies while a single writer replaces content with
 // uniform blocks (readers must never see a torn mix inside one ReadAt call

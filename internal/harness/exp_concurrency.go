@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"datalinks/internal/core"
-	"datalinks/internal/fs"
 	"datalinks/internal/upcall"
 	"datalinks/internal/workload"
 )
@@ -139,23 +138,26 @@ type concurrencyStats struct {
 	inflightRejected int64
 }
 
-// concurrencyRound runs one session-count configuration to completion.
+// concurrencyRound runs one session-count configuration to completion. The
+// file servers form a cluster under one authority: each session's file is
+// placed by the consistent-hash ring rather than a static modulo assignment,
+// the same routing a scale-out deployment uses (E21).
 func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, error) {
-	serverNames := make([]core.ServerConfig, ConcurrencyServers)
-	for i := range serverNames {
-		serverNames[i] = core.ServerConfig{
+	members := make([]core.ServerConfig, ConcurrencyServers)
+	for i := range members {
+		members[i] = core.ServerConfig{
 			Name:          fmt.Sprintf("fs%d", i+1),
 			UpcallLatency: ConcurrencyUpcallLatency,
 			OpenWait:      10 * time.Second,
 			TCPUpcalls:    ConcurrencyNet,
 		}
 	}
-	sys, err := core.NewSystem(core.Config{Servers: serverNames, LockTimeout: 10 * time.Second})
+	c, err := core.NewCluster(core.ClusterConfig{Members: members, LockTimeout: 10 * time.Second})
 	if err != nil {
 		return 0, 0, concurrencyStats{}, err
 	}
-	defer sys.Close()
-	sys.DB.MustExec(`CREATE TABLE conc (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY NO, doc_size INT)`)
+	defer c.Close()
+	c.DB.MustExec(`CREATE TABLE conc (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY NO, doc_size INT)`)
 
 	type sessionWork struct {
 		readURL string
@@ -163,23 +165,15 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 	}
 	work := make([]sessionWork, sessions)
 	for i := 0; i < sessions; i++ {
-		server := fmt.Sprintf("fs%d", i%ConcurrencyServers+1)
-		srv, err := sys.Server(server)
-		if err != nil {
-			return 0, 0, concurrencyStats{}, err
-		}
 		path := fmt.Sprintf("/c/f%d.bin", i)
-		if err := srv.Phys.MkdirAll("/c", fs.Cred{UID: fs.Root}, 0o777); err != nil {
+		if err := c.SeedFile(path, workload.UniformContent(4096, i), expUID); err != nil {
 			return 0, 0, concurrencyStats{}, err
 		}
-		if err := seedOwned(srv, path, workload.UniformContent(4096, i), expUID); err != nil {
+		if _, err := c.DB.Exec(
+			fmt.Sprintf(`INSERT INTO conc VALUES (%d, DLVALUE('%s'), NULL)`, i, c.URL(path))); err != nil {
 			return 0, 0, concurrencyStats{}, err
 		}
-		if _, err := sys.DB.Exec(
-			fmt.Sprintf(`INSERT INTO conc VALUES (%d, DLVALUE('dlfs://%s%s'), NULL)`, i, server, path)); err != nil {
-			return 0, 0, concurrencyStats{}, err
-		}
-		row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETE(doc) FROM conc WHERE id = %d`, i))
+		row, err := c.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETE(doc) FROM conc WHERE id = %d`, i))
 		if err != nil {
 			return 0, 0, concurrencyStats{}, err
 		}
@@ -202,10 +196,10 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 		wg.Add(1)
 		go func(w sessionWork) {
 			defer wg.Done()
-			sess := sys.NewSession(expUID)
+			sess := c.NewSession(expUID)
 			for k := 0; k < ConcurrencyOps; k++ {
 				if k%10 == 9 {
-					row, err := sys.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM conc WHERE id = %d`, w.id))
+					row, err := c.DB.QueryRow(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM conc WHERE id = %d`, w.id))
 					if err != nil {
 						fail(err)
 						return
@@ -252,10 +246,10 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 	}
 
 	var stats concurrencyStats
-	stats.lockWaits, stats.lockWaitTime, stats.shardCollisions = sys.DB.LockManager().ContentionStats()
+	stats.lockWaits, stats.lockWaitTime, stats.shardCollisions = c.DB.LockManager().ContentionStats()
 	stats.perOp = make(map[string][]time.Duration)
-	for _, name := range sys.ServerNames() {
-		srv, err := sys.Server(name)
+	for _, name := range c.Members() {
+		srv, err := c.Member(name)
 		if err != nil {
 			continue
 		}

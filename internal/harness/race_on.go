@@ -1,0 +1,6 @@
+//go:build race
+
+package harness
+
+// See race_off.go.
+const raceEnabled = true

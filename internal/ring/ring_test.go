@@ -1,0 +1,150 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestLookupDeterministicGolden pins placement to golden values. If this test
+// ever fails, the hash function changed and every DATALINK URL minted by an
+// older process would route to the wrong server after an upgrade — that is a
+// breaking change, not a refactor.
+func TestLookupDeterministicGolden(t *testing.T) {
+	r := New(128, "fs1", "fs2", "fs3", "fs4")
+	golden := map[string]string{
+		"/docs/report.pdf": "fs3",
+		"/c/f0.bin":        "fs2",
+		"/c/f1.bin":        "fs2",
+		"/video/a/b/c.mp4": "fs2",
+		"":                 "fs3",
+	}
+	for key, want := range golden {
+		if got := r.Lookup(key); got != want {
+			t.Errorf("Lookup(%q) = %q, want golden %q", key, got, want)
+		}
+	}
+}
+
+// TestLookupDeterministicAcrossBuilds verifies placement is a pure function
+// of (members, vnodes, key): rebuilding the ring — including with shuffled
+// member order, as a restarted process would — answers identically.
+func TestLookupDeterministicAcrossBuilds(t *testing.T) {
+	members := []string{"fs1", "fs2", "fs3", "fs4", "fs5"}
+	a := New(64, members...)
+	shuffled := []string{"fs4", "fs1", "fs5", "fs3", "fs2"}
+	b := New(64, shuffled...)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("/dir%d/file%d.bin", rng.Intn(50), rng.Intn(10000))
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("placement depends on member order: key %q → %q vs %q",
+				key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+// TestMinimalMovementOnAdd property-tests the consistent-hashing contract:
+// adding one member to n moves ≈K/(n+1) keys, all of them TO the new member
+// — no key may move between two surviving members.
+func TestMinimalMovementOnAdd(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 3, 7, 15} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("fs%d", i+1)
+		}
+		before := New(0, members...)
+		after := before.With("fsNEW")
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("/shard/file-%d", i)
+			src, dst := before.Lookup(key), after.Lookup(key)
+			if src == dst {
+				continue
+			}
+			if dst != "fsNEW" {
+				t.Fatalf("n=%d: key %q moved between survivors %q → %q", n, key, src, dst)
+			}
+			moved++
+		}
+		expect := float64(keys) / float64(n+1)
+		if f := float64(moved); f > 2*expect {
+			t.Errorf("n=%d: moved %d keys, want ≈%.0f (≤2x slack)", n, moved, expect)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: new member received no keys", n)
+		}
+	}
+}
+
+// TestMinimalMovementOnRemove is the symmetric property: removing one member
+// moves exactly that member's keys, and only to survivors.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	const keys = 20000
+	members := []string{"fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8"}
+	before := New(0, members...)
+	after := before.Without("fs3")
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("/shard/file-%d", i)
+		src, dst := before.Lookup(key), after.Lookup(key)
+		if src != "fs3" && src != dst {
+			t.Fatalf("key %q owned by survivor %q moved to %q", key, src, dst)
+		}
+		if src == "fs3" && dst == "fs3" {
+			t.Fatalf("key %q still routed to removed member", key)
+		}
+	}
+}
+
+// TestBalance checks vnodes keep the per-member share near K/n.
+func TestBalance(t *testing.T) {
+	const keys = 50000
+	r := New(0, "fs1", "fs2", "fs3", "fs4")
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("/b/%d", i))]++
+	}
+	mean := float64(keys) / 4
+	for m, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.5 || ratio > 1.6 {
+			t.Errorf("member %s holds %d keys (%.2fx mean) — vnode balance broken", m, c, ratio)
+		}
+	}
+}
+
+func TestMembershipOps(t *testing.T) {
+	r := New(16)
+	if got := r.Lookup("/x"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want \"\"", got)
+	}
+	r = r.With("fs1")
+	if got := r.Lookup("/x"); got != "fs1" {
+		t.Fatalf("single-member ring Lookup = %q, want fs1", got)
+	}
+	if r2 := r.With("fs1"); r2 != r {
+		t.Fatal("With(existing) should return the same ring")
+	}
+	if r2 := r.Without("nope"); r2 != r {
+		t.Fatal("Without(absent) should return the same ring")
+	}
+	r = r.With("fs2").With("fs3")
+	if got := len(r.Members()); got != 3 {
+		t.Fatalf("Members() = %d, want 3", got)
+	}
+	if !r.Has("fs2") || r.Has("fs9") {
+		t.Fatal("Has misreports membership")
+	}
+	r = r.Without("fs2")
+	if r.Has("fs2") || len(r.Members()) != 2 {
+		t.Fatal("Without did not remove fs2")
+	}
+	if r.VirtualNodes() != 16 {
+		t.Fatalf("vnode count not preserved: %d", r.VirtualNodes())
+	}
+	// New collapses duplicates and empty names.
+	d := New(8, "a", "a", "", "b")
+	if len(d.Members()) != 2 {
+		t.Fatalf("duplicate collapse failed: %v", d.Members())
+	}
+}

@@ -148,21 +148,39 @@ type Transport struct {
 	svc     Service
 	latency time.Duration
 	reg     *metrics.Registry
+	sem     chan struct{} // nil: unbounded
 }
 
 // NewInProc wraps a Service with metrics and optional injected latency,
 // modelling same-machine IPC (the production DLFS↔DLFM configuration).
 func NewInProc(svc Service, latency time.Duration, reg *metrics.Registry) *Transport {
+	return NewInProcWidth(svc, latency, 0, reg)
+}
+
+// NewInProcWidth is NewInProc with a bound on concurrent upcalls (0 =
+// unbounded): at most width requests are in the IPC channel at once, the rest
+// queue. The semaphore encloses the injected latency — a real IPC channel's
+// width covers the wire time, not just the daemon's service time — which is
+// what makes per-server capacity finite in scale-out experiments.
+func NewInProcWidth(svc Service, latency time.Duration, width int, reg *metrics.Registry) *Transport {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Transport{svc: svc, latency: latency, reg: reg}
+	t := &Transport{svc: svc, latency: latency, reg: reg}
+	if width > 0 {
+		t.sem = make(chan struct{}, width)
+	}
+	return t
 }
 
 // Upcall forwards the request, counting and timing it (aggregate and
 // per-op, so experiments report p50/p95/p99 per operation).
 func (t *Transport) Upcall(req Request) (Response, error) {
 	start := time.Now()
+	if t.sem != nil {
+		t.sem <- struct{}{}
+		defer func() { <-t.sem }()
+	}
 	if t.latency > 0 {
 		time.Sleep(t.latency)
 	}
