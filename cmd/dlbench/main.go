@@ -35,6 +35,13 @@
 //
 //	dlbench -exp E16 -e16-dir /var/tmp/e16 -json > BENCH_E16.json
 //	dlbench -exp E16 -e16-dir /var/tmp/e16    # verify-only: zero device transfer
+//
+// The E22 tracing experiment prices the observability plane on the E13 hot
+// path (tracing on vs off, best-of rounds) and audits every commit trace for
+// the full session→wire→lock→archive-barrier→fsync span story over real TCP:
+//
+//	dlbench -exp E22 -e22-rounds 5 -e22-sessions 8 -e22-commits 20
+//	dlbench -exp E22 -json > BENCH_E22.json
 package main
 
 import (
@@ -102,6 +109,10 @@ func main() {
 		e21files = flag.Int("e21-files", 0, "E21: linked files per round")
 		e21lat   = flag.Duration("e21-upcall-latency", -1, "E21: simulated DLFS→DLFM IPC latency per member (e.g. 1ms)")
 		e21width = flag.Int("e21-width", 0, "E21: concurrent upcall width per member")
+		e22round = flag.Int("e22-rounds", 0, "E22: interleaved overhead rounds per mode (best-of comparison)")
+		e22budg  = flag.Float64("e22-budget", 0, "E22: max tracing overhead as a fraction of untraced ops/s (e.g. 0.05)")
+		e22sess  = flag.Int("e22-sessions", 0, "E22: sessions in the commit-trace completeness phase")
+		e22comm  = flag.Int("e22-commits", 0, "E22: commits per session in the completeness phase")
 	)
 	flag.Parse()
 
@@ -266,6 +277,18 @@ func main() {
 	}
 	if *e21width > 0 {
 		harness.ScaleoutUpcallWidth = *e21width
+	}
+	if *e22round > 0 {
+		harness.TraceOverheadRounds = *e22round
+	}
+	if *e22budg > 0 {
+		harness.TraceOverheadBudget = *e22budg
+	}
+	if *e22sess > 0 {
+		harness.TraceSessions = *e22sess
+	}
+	if *e22comm > 0 {
+		harness.TraceCommits = *e22comm
 	}
 
 	if *list {

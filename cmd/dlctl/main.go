@@ -7,23 +7,32 @@
 //	dlctl -demo backup-restore
 //	dlctl -demo crash
 //	dlctl -demo ring
+//	dlctl -demo trace
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"datalinks"
+	"datalinks/internal/obs"
+	"datalinks/internal/upcall"
 )
 
 func main() {
-	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash | ring")
+	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash | ring | trace")
 	flag.Parse()
 
 	if *demo == "ring" {
 		ringDemo()
+		return
+	}
+	if *demo == "trace" {
+		traceDemo()
 		return
 	}
 
@@ -134,9 +143,9 @@ func ringDemo() {
 
 	reg := c.Internal().Router().Metrics()
 	fmt.Println("\nmigration status:")
-	fmt.Println("  ring.moves:       ", reg.Counter("ring.moves").Value())
-	fmt.Println("  ring.forwards:    ", reg.Counter("ring.forwards").Value())
-	fmt.Println("  ring.rebalance_ms:", reg.Counter("ring.rebalance_ms").Value())
+	for _, nv := range reg.Snapshot() {
+		fmt.Printf("  %-18s %d\n", nv.Name+":", nv.Value)
+	}
 
 	fmt.Println("\nplacement after growth:")
 	for _, p := range paths {
@@ -144,6 +153,54 @@ func ringDemo() {
 		must(err)
 		fmt.Printf("  %-22s -> %s\n", p, owner)
 	}
+}
+
+// traceDemo follows one commit from the session API to the archive fsync: a
+// TCP-deployed server with tracing on, a chaos-delayed wire, and a slow-op
+// threshold low enough that the delayed commit trips it. It prints the
+// slowest trace as an indented span tree and the slow_op JSON line the
+// threshold emitted.
+func traceDemo() {
+	fmt.Println("== dlctl trace: follow one commit from session to fsync ==")
+	var slowLog bytes.Buffer
+	sys, err := datalinks.Open(datalinks.Config{
+		Servers: []datalinks.ServerConfig{{
+			Name:            "fs1",
+			TCPUpcalls:      true,
+			Trace:           true,
+			SlowOpThreshold: 2 * time.Millisecond,
+			SlowOpLog:       &slowLog,
+			UpcallNet: &upcall.NetConfig{
+				Client: upcall.ClientConfig{
+					Chaos: &upcall.Chaos{DelayDist: upcall.Delay{Prob: 1, Min: 3 * time.Millisecond, Max: 4 * time.Millisecond}},
+				},
+			},
+		}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+	fsrv, _ := sys.FileServer("fs1")
+	must(fsrv.SeedFile("/docs/contract.pdf", []byte("contract v1"), 100))
+	sys.MustExec(`CREATE TABLE docs (id INT PRIMARY KEY, doc DATALINK MODE RFD RECOVERY YES, doc_size INT)`)
+	sys.MustExec(`INSERT INTO docs (id, doc) VALUES (1, DLVALUE('dlfs://fs1/docs/contract.pdf'))`)
+
+	url, err := sys.QueryString(`SELECT DLURLCOMPLETEWRITE(doc) FROM docs WHERE id = 1`)
+	must(err)
+	f, err := sys.Session(100).OpenWrite(url)
+	must(err)
+	must(f.WriteAll([]byte("contract v2 SIGNED")))
+	must(f.Close())
+	fsrv.WaitArchives()
+
+	tracer := fsrv.Internal().Obs
+	fmt.Println("\nslowest traces (span trees; chaos delays the wire 3–4ms per upcall):")
+	for _, tr := range tracer.Slowest(3) {
+		obs.RenderText(os.Stdout, tr)
+	}
+	fmt.Println("slow_op events (one-line JSON, span tree embedded):")
+	os.Stdout.Write(slowLog.Bytes())
 }
 
 // printPlacements renders a member -> linked-path-count map in sorted order.

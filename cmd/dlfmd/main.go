@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +23,8 @@ import (
 	"datalinks/internal/archive"
 	"datalinks/internal/dlfm"
 	"datalinks/internal/fs"
+	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
 	"datalinks/internal/upcall"
@@ -59,6 +63,8 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "max in-flight requests across all connections (0: default)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "evict connections idle this long (0: never)")
 		ioTimeout    = flag.Duration("io-timeout", 0, "per-frame read/write deadline (0: default)")
+		obsAddr      = flag.String("obs-addr", "", "observability HTTP listen address (/metrics, /debug/traces, pprof); empty disables")
+		slowOp       = flag.Duration("slow-op", 0, "log upcalls slower than this as slow_op JSON events to stderr (0: never)")
 	)
 	var seeds seedList
 	flag.Var(&seeds, "seed", "seed file as path=content (repeatable)")
@@ -73,12 +79,29 @@ func main() {
 			fatal(err)
 		}
 	}
+	// One registry and one tracer shared by the DLFM and the upcall server,
+	// so daemon counters and network counters expose through one /metrics
+	// page and inbound trace contexts stitch into local traces.
+	reg := metrics.NewRegistry()
+	// Liveness series: a scrape of a freshly started (or idle) daemon is
+	// still non-empty, so monitors can distinguish "up but quiet" from
+	// "unreachable".
+	reg.Counter("dlfmd.up").Inc()
+	var tracer *obs.Tracer
+	if *obsAddr != "" || *slowOp > 0 {
+		tracer = obs.New(obs.Config{
+			SlowOpThreshold: *slowOp,
+			Log:             obs.NewLogger(os.Stderr, obs.LevelDebug),
+		})
+	}
 	srv, err := dlfm.New(dlfm.Config{
 		Name:     *name,
 		Phys:     phys,
 		Archive:  archive.New(0, nil),
 		Host:     &standaloneHost{},
 		TokenKey: []byte(*key),
+		Metrics:  reg,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -90,11 +113,26 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		FrameTimeout: *ioTimeout,
 		WriteTimeout: *ioTimeout,
+		Metrics:      reg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("dlfmd: %s serving upcalls on %s (%d files seeded)\n", *name, bound, len(seeds))
+
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.Mux(reg, tracer)); err != nil {
+				fmt.Fprintln(os.Stderr, "dlfmd: obs server:", err)
+			}
+		}()
+		fmt.Printf("dlfmd: observability on http://%s (/metrics, /debug/traces, /debug/pprof)\n", ln.Addr())
+	}
 
 	if *selftest {
 		client, err := upcall.Dial(bound)

@@ -44,6 +44,7 @@ package datalinks
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"datalinks/internal/core"
@@ -129,6 +130,19 @@ type ServerConfig struct {
 	// RepoCheckpointBytes takes a repository checkpoint after roughly this
 	// many logged bytes (<= 0: 1 MiB).
 	RepoCheckpointBytes int64
+	// Trace enables request-scoped tracing: every top-level operation (open,
+	// read, write, commit/close, link/unlink) records a span tree into a
+	// bounded per-server ring, stitched across the upcall wire under
+	// TCPUpcalls.
+	Trace bool
+	// TraceCapacity bounds the ring of retained completed traces (<= 0: 512).
+	TraceCapacity int
+	// SlowOpThreshold emits any traced operation slower than this as a
+	// one-line JSON slow_op event (span tree included) to SlowOpLog. Setting
+	// it implies tracing even when Trace is false.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives slow_op events (nil discards them).
+	SlowOpLog io.Writer
 }
 
 // Config configures a System.
@@ -174,6 +188,10 @@ func toCoreServer(s ServerConfig) core.ServerConfig {
 		RepoFsync:              s.RepoFsync,
 		RepoFsyncMaxDelay:      s.RepoFsyncMaxDelay,
 		RepoCheckpointBytes:    s.RepoCheckpointBytes,
+		Trace:                  s.Trace,
+		TraceCapacity:          s.TraceCapacity,
+		SlowOpThreshold:        s.SlowOpThreshold,
+		SlowOpLog:              s.SlowOpLog,
 	}
 }
 

@@ -42,6 +42,7 @@
 package archive
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -57,6 +58,7 @@ import (
 	"datalinks/internal/extent"
 	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 )
 
 // Version numbers a file's archived states, starting at 0 for the content
@@ -681,6 +683,14 @@ func hashesAt(fv *fileVersions, idx int) []extent.Hash {
 // Versions must be archived in increasing order per file; re-archiving an
 // existing version returns ErrStale (versions are immutable).
 func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap *extent.Snapshot) (PutStats, error) {
+	return s.PutSnapshotCtx(context.Background(), server, path, v, stateID, snap)
+}
+
+// PutSnapshotCtx is PutSnapshot carrying a trace context: when the context
+// holds a span, the commit durability barrier gets an "archive.barrier" span
+// whose "fsync" child records which group-commit round (pack and catalog)
+// made this version durable.
+func (s *Store) PutSnapshotCtx(ctx context.Context, server, path string, v Version, stateID uint64, snap *extent.Snapshot) (PutStats, error) {
 	var st PutStats
 	chunks := snap.Chunks()
 	hashes := make([]extent.Hash, len(chunks))
@@ -840,14 +850,26 @@ func (s *Store) PutSnapshot(server, path string, v Version, stateID uint64, snap
 	// manifest whose blobs exist (the reverse would reference lost bytes,
 	// which replay would then have to drop). The version is already indexed;
 	// a barrier failure reports that its durability is not established.
-	if err := s.disk.Sync(); err != nil {
+	bar := obs.SpanFrom(ctx).Child("archive.barrier")
+	fsp := bar.Child("fsync")
+	round, err := s.disk.SyncRound()
+	fsp.SetAttr("round", int64(round))
+	if err != nil {
+		fsp.End()
+		bar.End()
 		return st, err
 	}
 	if s.cat != nil {
-		if err := s.cat.Sync(); err != nil {
-			return st, fmt.Errorf("archive: catalog: %w", err)
+		cround, cerr := s.cat.SyncRound()
+		fsp.SetAttr("catalog_round", int64(cround))
+		if cerr != nil {
+			fsp.End()
+			bar.End()
+			return st, fmt.Errorf("archive: catalog: %w", cerr)
 		}
 	}
+	fsp.End()
+	bar.End()
 
 	s.puts.Add(1)
 	s.logicalBytes.Add(size)

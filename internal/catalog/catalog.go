@@ -211,6 +211,12 @@ func (c *Catalog) Sync() error {
 	return c.sync.Barrier()
 }
 
+// SyncRound is Sync, additionally reporting the group-commit round that made
+// the caller's appends durable (0 under none/always). Traces use it.
+func (c *Catalog) SyncRound() (uint64, error) {
+	return c.sync.BarrierRound()
+}
+
 // Fsyncs reports the physical flushes issued so far.
 func (c *Catalog) Fsyncs() int64 {
 	return c.sync.Count()

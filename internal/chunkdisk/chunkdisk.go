@@ -829,6 +829,12 @@ func (s *Store) Sync() error {
 	return s.sync.Barrier()
 }
 
+// SyncRound is Sync, additionally reporting the group-commit round that made
+// the caller's appends durable (0 under none/always). Traces use it.
+func (s *Store) SyncRound() (uint64, error) {
+	return s.sync.BarrierRound()
+}
+
 // Close seals the active packfile (fsyncing it under policies that sync) and
 // releases the directory lock. The store must not be used afterwards; a
 // memory-only store's Close is a no-op. Idempotent.

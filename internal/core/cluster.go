@@ -26,6 +26,7 @@ import (
 	"datalinks/internal/engine"
 	"datalinks/internal/fs"
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 	"datalinks/internal/ring"
 	"datalinks/internal/sqlmini"
 )
@@ -391,34 +392,55 @@ func (c *Cluster) rebalanceTo(target *ring.Ring) error {
 // hash), import the repository bundle, point the router at the destination,
 // evict the source. On any failure the source remains the owner.
 func (c *Cluster) migratePath(src, dst *FileServer, path string) error {
+	tr := src.Obs.Start("migrate")
+	root := tr.Root()
+	root.SetAttr("path", path)
+	root.SetAttr("src", src.Name)
+	root.SetAttr("dst", dst.Name)
+	err := c.migratePathTraced(src, dst, path, root)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	tr.Finish()
+	return err
+}
+
+func (c *Cluster) migratePathTraced(src, dst *FileServer, path string, sp *obs.Span) error {
 	gate := c.router.gate(path)
 	defer c.router.ungate(path, gate)
 
 	// Drain + freeze. A long-running writer can exceed one OpenWait; retry a
 	// few times before giving up on the whole rebalance.
+	drain := sp.Child("drain")
 	var b *dlfm.FileBundle
 	var err error
 	for attempt := 0; ; attempt++ {
 		b, err = src.DLFM.BeginExport(path)
 		if err == nil || attempt >= 2 {
+			drain.SetAttr("attempts", int64(attempt+1))
 			break
 		}
 	}
+	drain.End()
 	if err != nil {
 		return err
 	}
 	defer b.Release()
 
+	handover := sp.Child("handover")
 	recs := src.Archive.ExportHistory(c.authority, path)
 	if _, err := dst.Archive.ImportHistory(c.authority, path, recs, src.Archive.FetchBlob); err != nil {
+		handover.End()
 		src.DLFM.AbortExport(path)
 		return err
 	}
 	if err := dst.DLFM.ImportBundle(b); err != nil {
+		handover.End()
 		_ = dst.Archive.Drop(c.authority, path)
 		src.DLFM.AbortExport(path)
 		return err
 	}
+	handover.End()
 	// The destination owns the path from here: stragglers parked on the
 	// source's freeze fail over via the session retry, new traffic routes by
 	// the override until the ring swap makes it implicit.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"datalinks/internal/fs"
+	"datalinks/internal/obs"
 	"datalinks/internal/token"
 )
 
@@ -45,7 +47,20 @@ func (s *ClusterSession) open(url string, mode fs.AccessMode) (*File, error) {
 			// Ownership did not change; the first error was real.
 			return nil, lastErr
 		}
-		fd, err := m.LFS.Open(s.cred, name, mode)
+		tr := m.Obs.Start("open")
+		root := tr.Root()
+		root.SetAttr("path", cleanPath)
+		root.SetAttr("server", m.Name)
+		if attempt > 0 {
+			// The first owner rejected the open because the path migrated
+			// away mid-flight; this attempt followed the ring forward.
+			root.SetAttr("ring_forwarded", true)
+		}
+		fd, err := m.LFS.OpenCtx(obs.ContextWithSpan(context.Background(), root), s.cred, name, mode)
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		tr.Finish()
 		if err == nil {
 			return &File{srv: m, path: cleanPath, fd: fd, write: mode&fs.AccessWrite != 0}, nil
 		}

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"datalinks/internal/fs"
 	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
 	"datalinks/internal/upcall"
@@ -100,6 +103,20 @@ type ServerConfig struct {
 	// RepoCheckpointBytes takes a repository checkpoint after roughly this
 	// many logged bytes (<= 0: the dlfm default).
 	RepoCheckpointBytes int64
+	// Trace enables request-scoped tracing on this server: every top-level
+	// operation (open, read, write, commit/close, link/unlink, migration
+	// move) records a span tree into a bounded per-server ring, stitched
+	// across the upcall wire when TCPUpcalls is set.
+	Trace bool
+	// TraceCapacity bounds the ring of retained completed traces (<= 0: the
+	// obs default of 512).
+	TraceCapacity int
+	// SlowOpThreshold emits any trace whose root exceeds it as a one-line
+	// JSON slow_op event to SlowOpLog, span tree included. Setting it
+	// implies tracing even when Trace is false.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives slow_op events (nil discards them).
+	SlowOpLog io.Writer
 }
 
 // Config configures a System.
@@ -121,6 +138,10 @@ type FileServer struct {
 	LFS       *vfs.LFS // applications' mount (through DLFS)
 	NativeLFS *vfs.LFS // bypass mount (native-FS baseline measurements)
 	Transport *upcall.Transport
+	// Obs is the server's tracer (nil unless Trace or SlowOpThreshold is
+	// configured). Both the session side and the daemon side of this server
+	// record into it, so one commit's spans land in one trace.
+	Obs *obs.Tracer
 	// Recovery is non-nil when opening a durable repository directory ran
 	// cold-start recovery instead of a fresh boot.
 	Recovery *dlfm.RecoveryReport
@@ -208,6 +229,18 @@ func buildStack(sc ServerConfig, dlfmName string, clock func() time.Time, key []
 	// One registry per server, shared between DLFM and the archive tier so
 	// the fsync/pack counters surface next to the upcall/archive ones.
 	reg := metrics.NewRegistry()
+	var tracer *obs.Tracer
+	if sc.Trace || sc.SlowOpThreshold > 0 {
+		var slowLog *obs.Logger
+		if sc.SlowOpLog != nil {
+			slowLog = obs.NewLogger(sc.SlowOpLog, obs.LevelDebug)
+		}
+		tracer = obs.New(obs.Config{
+			Capacity:        sc.TraceCapacity,
+			SlowOpThreshold: sc.SlowOpThreshold,
+			Log:             slowLog,
+		})
+	}
 	arch, err := archive.NewTiered(sc.ArchiveLatency, clock, archive.TierConfig{
 		Dir:             sc.ArchiveDir,
 		MemoryBudget:    sc.ArchiveMemoryBudget,
@@ -243,6 +276,7 @@ func buildStack(sc ServerConfig, dlfmName string, clock func() time.Time, key []
 		RepoFsync:           repoFsync,
 		RepoFsyncMaxDelay:   sc.RepoFsyncMaxDelay,
 		RepoCheckpointBytes: sc.RepoCheckpointBytes,
+		Tracer:              tracer,
 	})
 	if err != nil {
 		arch.Close()
@@ -254,6 +288,7 @@ func buildStack(sc ServerConfig, dlfmName string, clock func() time.Time, key []
 		Archive:   arch,
 		DLFM:      srv,
 		NativeLFS: vfs.NewLFS(vfs.NewPassthrough(phys)),
+		Obs:       tracer,
 		Recovery:  recovery,
 		cfg:       sc,
 	}
@@ -281,6 +316,11 @@ func wireUpcallPlane(fsrv *FileServer, srv *dlfm.Server, sc ServerConfig) error 
 	case sc.TCPUpcalls:
 		if netCfg.Server.Metrics == nil {
 			netCfg.Server.Metrics = upReg
+		}
+		if netCfg.Server.Tracer == nil {
+			// Adopt inbound trace contexts into the same ring the session
+			// side records into, stitching client and daemon spans.
+			netCfg.Server.Tracer = fsrv.Obs
 		}
 		if netCfg.Client.Metrics == nil {
 			netCfg.Client.Metrics = upReg
@@ -415,6 +455,7 @@ func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, err
 		RepoFsync:           repoFsync,
 		RepoFsyncMaxDelay:   old.cfg.RepoFsyncMaxDelay,
 		RepoCheckpointBytes: old.cfg.RepoCheckpointBytes,
+		Tracer:              old.Obs, // the ring of past traces survives the crash
 	}, durable)
 	if err != nil {
 		return nil, err
@@ -425,6 +466,7 @@ func (sys *System) CrashAndRecoverServer(name string) (*dlfm.RecoveryReport, err
 		Archive:   old.Archive,
 		DLFM:      srv,
 		NativeLFS: old.NativeLFS,
+		Obs:       old.Obs,
 		cfg:       old.cfg,
 	}
 	if err := wireUpcallPlane(fresh, srv, old.cfg); err != nil {
@@ -503,11 +545,18 @@ func (s *Session) open(url string, mode fs.AccessMode) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	fd, err := srv.LFS.Open(s.cred, name, mode)
+	cleanPath, _, _ := token.Extract(name)
+	tr := srv.Obs.Start("open")
+	root := tr.Root()
+	root.SetAttr("path", cleanPath)
+	root.SetAttr("server", server)
+	fd, err := srv.LFS.OpenCtx(obs.ContextWithSpan(context.Background(), root), s.cred, name, mode)
 	if err != nil {
+		root.SetAttr("error", err.Error())
+		tr.Finish()
 		return nil, err
 	}
-	cleanPath, _, _ := token.Extract(name)
+	tr.Finish()
 	return &File{sess: s, srv: srv, path: cleanPath, fd: fd, write: mode&fs.AccessWrite != 0}, nil
 }
 
@@ -519,20 +568,61 @@ func (s *Session) OpenRead(url string) (*File, error) { return s.open(url, fs.Ac
 // should come from DLURLCOMPLETEWRITE (it carries the write token).
 func (s *Session) OpenWrite(url string) (*File, error) { return s.open(url, fs.ReadWrite) }
 
+// trace records one data-plane operation as a single-span trace (these ops
+// never upcall, so the trace is flat). The returned func finishes it.
+func (f *File) trace(op string) func(err error) {
+	if !f.srv.Obs.Enabled() {
+		return func(error) {}
+	}
+	tr := f.srv.Obs.Start(op)
+	tr.Root().SetAttr("path", f.path)
+	return func(err error) {
+		if err != nil {
+			tr.Root().SetAttr("error", err.Error())
+		}
+		tr.Finish()
+	}
+}
+
 // Read reads from the current offset.
-func (f *File) Read(p []byte) (int, error) { return f.srv.LFS.Read(f.fd, p) }
+func (f *File) Read(p []byte) (int, error) {
+	done := f.trace("read")
+	n, err := f.srv.LFS.Read(f.fd, p)
+	done(err)
+	return n, err
+}
 
 // ReadAll reads the whole file.
-func (f *File) ReadAll() ([]byte, error) { return f.srv.LFS.ReadAll(f.fd) }
+func (f *File) ReadAll() ([]byte, error) {
+	done := f.trace("read")
+	b, err := f.srv.LFS.ReadAll(f.fd)
+	done(err)
+	return b, err
+}
 
 // Write writes at the current offset.
-func (f *File) Write(p []byte) (int, error) { return f.srv.LFS.Write(f.fd, p) }
+func (f *File) Write(p []byte) (int, error) {
+	done := f.trace("write")
+	n, err := f.srv.LFS.Write(f.fd, p)
+	done(err)
+	return n, err
+}
 
 // WriteAt writes at an absolute offset.
-func (f *File) WriteAt(off int64, p []byte) (int, error) { return f.srv.LFS.WriteAt(f.fd, off, p) }
+func (f *File) WriteAt(off int64, p []byte) (int, error) {
+	done := f.trace("write")
+	n, err := f.srv.LFS.WriteAt(f.fd, off, p)
+	done(err)
+	return n, err
+}
 
 // ReadAt reads at an absolute offset without moving the file offset.
-func (f *File) ReadAt(off int64, p []byte) (int, error) { return f.srv.LFS.ReadAt(f.fd, off, p) }
+func (f *File) ReadAt(off int64, p []byte) (int, error) {
+	done := f.trace("read")
+	n, err := f.srv.LFS.ReadAt(f.fd, off, p)
+	done(err)
+	return n, err
+}
 
 // Truncate sets the file length, like ftruncate(2) on the open write
 // descriptor (write permission was established at open).
@@ -566,7 +656,19 @@ func (f *File) Close() error {
 		_ = f.srv.LFS.Close(f.fd)
 		return nil
 	}
-	return f.srv.LFS.Close(f.fd)
+	op := "close"
+	if f.write {
+		op = "commit" // a write close commits the file-update transaction
+	}
+	tr := f.srv.Obs.Start(op)
+	root := tr.Root()
+	root.SetAttr("path", f.path)
+	err := f.srv.LFS.CloseCtx(obs.ContextWithSpan(context.Background(), root), f.fd)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	tr.Finish()
+	return err
 }
 
 // Abort rolls the in-place update back: the last committed version is

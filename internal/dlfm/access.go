@@ -1,11 +1,13 @@
 package dlfm
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"time"
 
 	"datalinks/internal/fs"
+	"datalinks/internal/obs"
 	"datalinks/internal/token"
 	"datalinks/internal/upcall"
 )
@@ -16,10 +18,26 @@ import (
 // update-transaction half (write opens and closes, §4.2–4.4) is in
 // update.go.
 
-var _ upcall.Service = (*Server)(nil)
+var (
+	_ upcall.Service    = (*Server)(nil)
+	_ upcall.CtxService = (*Server)(nil)
+)
 
 // Upcall dispatches one request from DLFS.
 func (s *Server) Upcall(req upcall.Request) (upcall.Response, error) {
+	return s.UpcallCtx(context.Background(), req)
+}
+
+// UpcallCtx is Upcall under a request context. When the context carries a
+// trace span, the daemon's work gets a "dlfm" child span; the blocking and
+// commit phases underneath annotate it further (lock, 2pc, archive).
+func (s *Server) UpcallCtx(ctx context.Context, req upcall.Request) (upcall.Response, error) {
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		c := sp.Child("dlfm")
+		c.SetAttr("op", req.Op.String())
+		ctx = obs.ContextWithSpan(ctx, c)
+		defer c.End()
+	}
 	if req.Op > 0 && req.Op < upcallOpRange {
 		s.upcallCtrs[req.Op].Inc()
 	} else {
@@ -31,9 +49,9 @@ func (s *Server) Upcall(req upcall.Request) (upcall.Response, error) {
 	case upcall.OpReadOpen:
 		return s.readOpen(req), nil
 	case upcall.OpWriteOpen:
-		return s.writeOpen(req), nil
+		return s.writeOpen(ctx, req), nil
 	case upcall.OpClose:
-		return s.closeFile(req), nil
+		return s.closeFile(ctx, req), nil
 	case upcall.OpCheckRemove, upcall.OpCheckRename:
 		return s.checkRemoveRename(req), nil
 	default:

@@ -23,6 +23,7 @@ import (
 	"datalinks/internal/fs"
 	"datalinks/internal/fsyncer"
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
 	"datalinks/internal/upcall"
@@ -96,6 +97,10 @@ type Config struct {
 	// RepoDir is set).
 	RepoCheckpointBytes int64
 	Metrics             *metrics.Registry
+	// Tracer, when set, records request-scoped traces for the operations the
+	// daemon originates itself (link/unlink). Upcall-driven work is traced
+	// through the context the transport hands in, not this field.
+	Tracer *obs.Tracer
 }
 
 // DefaultRepoCheckpointBytes is the automatic checkpoint trigger for

@@ -47,6 +47,17 @@ func (s *Server) journalID() int64 {
 
 // LinkFile starts managing a file as part of host transaction hostTxn.
 func (s *Server) LinkFile(hostTxn uint64, path string, opts datalink.ColumnOptions) error {
+	tr := s.cfg.Tracer.Start("link")
+	tr.Root().SetAttr("path", path)
+	err := s.linkFile(hostTxn, path, opts)
+	if err != nil {
+		tr.Root().SetAttr("error", err.Error())
+	}
+	tr.Finish()
+	return err
+}
+
+func (s *Server) linkFile(hostTxn uint64, path string, opts datalink.ColumnOptions) error {
 	if !opts.Mode.Linked() {
 		return fmt.Errorf("dlfm: mode %s does not link files", opts.Mode)
 	}
@@ -176,6 +187,17 @@ func (s *Server) restoreLinkState(path string, fi fileInfo) error {
 // UnlinkFile stops managing a file as part of host transaction hostTxn.
 // Rejected while the file is open or being updated (§4.5).
 func (s *Server) UnlinkFile(hostTxn uint64, path string) error {
+	tr := s.cfg.Tracer.Start("unlink")
+	tr.Root().SetAttr("path", path)
+	err := s.unlinkFile(hostTxn, path)
+	if err != nil {
+		tr.Root().SetAttr("error", err.Error())
+	}
+	tr.Finish()
+	return err
+}
+
+func (s *Server) unlinkFile(hostTxn uint64, path string) error {
 	fi, linked := s.lookupFile(path)
 	if !linked {
 		return fmt.Errorf("%w: %s", ErrNotLinked, path)

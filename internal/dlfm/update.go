@@ -1,6 +1,7 @@
 package dlfm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/url"
@@ -9,6 +10,7 @@ import (
 
 	"datalinks/internal/archive"
 	"datalinks/internal/fs"
+	"datalinks/internal/obs"
 	"datalinks/internal/sqlmini"
 	"datalinks/internal/token"
 	"datalinks/internal/upcall"
@@ -25,7 +27,7 @@ import (
 // reaches here only after the native open failed with EACCES (the file was
 // made read-only at link time) — the paper's lazy path that keeps unlinked
 // and read traffic free of upcalls.
-func (s *Server) writeOpen(req upcall.Request) upcall.Response {
+func (s *Server) writeOpen(ctx context.Context, req upcall.Request) upcall.Response {
 	fi, linked := s.lookupFile(req.Path)
 	if !linked {
 		return reject(upcall.CodeNotLinked, req.Path+" is not linked")
@@ -49,10 +51,15 @@ func (s *Server) writeOpen(req upcall.Request) upcall.Response {
 		// rdd: readers also serialize against the writer.
 		pred = func(st *syncState) bool { return st.writer == 0 && len(st.readers) == 0 }
 	}
+	lk := obs.SpanFrom(ctx).Child("lock")
+	lk.SetAttr("path", req.Path)
 	if !s.waitLocked(sh, req.Path, pred) {
+		lk.SetAttr("timeout", true)
+		lk.End()
 		sh.mu.Unlock()
 		return reject(upcall.CodeBusy, req.Path+" is busy (open or archiving)")
 	}
+	lk.End()
 	id := s.newOpenLocked(sh, idx, req.Path, fs.UID(req.UID), true)
 	st := s.syncFor(sh, req.Path)
 	st.writer = id
@@ -139,7 +146,7 @@ func (s *Server) clearUpdateEntry(path string) {
 }
 
 // closeFile handles the fs_close upcall — end transaction for write opens.
-func (s *Server) closeFile(req upcall.Request) upcall.Response {
+func (s *Server) closeFile(ctx context.Context, req upcall.Request) upcall.Response {
 	sh := s.openShardOf(req.OpenID)
 	sh.mu.Lock()
 	st, ok := sh.opens[req.OpenID]
@@ -152,7 +159,7 @@ func (s *Server) closeFile(req upcall.Request) upcall.Response {
 		s.cfg.Metrics.Counter("dlfm.close.read").Inc()
 		return upcall.Response{OK: true}
 	}
-	if err := s.commitUpdate(st, req.Size, time.Unix(0, req.Mtime)); err != nil {
+	if err := s.commitUpdate(ctx, st, req.Size, time.Unix(0, req.Mtime)); err != nil {
 		// The close fails and the update rolls back — the application sees
 		// the error from close(2), matching "processing of file close
 		// request fails [⇒] the update operation is rolled back".
@@ -206,7 +213,7 @@ func (u *updateSub) AbortXRM(hostTxn uint64) error {
 }
 
 // commitUpdate runs the file-update commit protocol for a closing write open.
-func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error {
+func (s *Server) commitUpdate(ctx context.Context, st *openState, size int64, mtime time.Time) error {
 	fi, linked := s.lookupFile(st.path)
 	if !linked {
 		return fmt.Errorf("dlfm: %s no longer linked", st.path)
@@ -247,7 +254,9 @@ func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error 
 
 	// Two-phase commit with the host database: the metadata update (§4.3)
 	// and the repository changes share one fate.
+	tp := obs.SpanFrom(ctx).Child("2pc")
 	stateID, err := s.cfg.Host.MetaUpdate(s.cfg.Name, st.path, size, mtime, sub)
+	tp.End()
 	if err != nil {
 		// The host aborted; AbortXRM already rolled the repo txn back.
 		return fmt.Errorf("metadata update failed: %w", err)
@@ -259,7 +268,7 @@ func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error 
 		sqlmini.Str(st.path), sqlmini.Int(newVer), sqlmini.Int(int64(stateID))); err != nil {
 		return err
 	}
-	s.startArchive(st.path, archive.Version(newVer), stateID)
+	s.startArchive(ctx, st.path, archive.Version(newVer), stateID)
 
 	if err := s.releaseTakeover(st.path, fi); err != nil {
 		return err
@@ -273,19 +282,29 @@ func (s *Server) commitUpdate(st *openState, size int64, mtime time.Time) error 
 // New update opens of the path block until the job finishes (§4.4). The
 // snapshot is an O(#chunks) manifest grab, and the archive stores only the
 // chunks this version changed — commit cost is O(delta), not O(file size).
-func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) {
+//
+// The "archive" span is opened synchronously — it is part of the commit
+// trace even though the trace's root finishes before the job does (the
+// paper's async-archive design). It ends when the job completes, carrying
+// the archive-barrier/fsync spans from PutSnapshotCtx underneath it.
+func (s *Server) startArchive(ctx context.Context, path string, ver archive.Version, stateID uint64) {
+	arch := obs.SpanFrom(ctx).Child("archive")
+	arch.SetAttr("version", int64(ver))
 	snap, err := s.cfg.Phys.SnapshotFile(path)
 	if err != nil {
 		snap = nil
 	}
+	lk := arch.Child("lock")
 	sh, _ := s.pathShard(path)
 	sh.mu.Lock()
 	s.syncFor(sh, path).archiving = true
 	sh.mu.Unlock()
+	lk.End()
 	s.archJobs.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer arch.End()
 		defer func() {
 			sh.mu.Lock()
 			if sy, ok := sh.syncs[path]; ok {
@@ -312,7 +331,8 @@ func (s *Server) startArchive(path string, ver archive.Version, stateID uint64) 
 			s.cfg.Metrics.Counter("dlfm.archive.errors").Inc()
 			return
 		}
-		st, err := s.cfg.Archive.PutSnapshot(s.cfg.Name, path, ver, stateID, snap)
+		st, err := s.cfg.Archive.PutSnapshotCtx(
+			obs.ContextWithSpan(context.Background(), arch), s.cfg.Name, path, ver, stateID, snap)
 		snap.Release()
 		if err != nil {
 			s.cfg.Metrics.Counter("dlfm.archive.errors").Inc()

@@ -18,6 +18,7 @@
 package dlfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -86,7 +87,10 @@ func New(cfg Config) *DLFS {
 	}
 }
 
-var _ vfs.FileSystem = (*DLFS)(nil)
+var (
+	_ vfs.FileSystem    = (*DLFS)(nil)
+	_ vfs.CtxFileSystem = (*DLFS)(nil)
+)
 
 // node is DLFS's vnode: the physical inode plus the private data DLFS keeps
 // (the paper's challenge is that *per-file DataLinks state* cannot live
@@ -126,9 +130,14 @@ func mapCode(resp upcall.Response) error {
 // FsLookup resolves a name, validating any embedded access token with the
 // upcall daemon (§4.1). An invalid token fails the lookup.
 func (d *DLFS) FsLookup(cred fs.Cred, name string) (vfs.Node, error) {
+	return d.FsLookupCtx(context.Background(), cred, name)
+}
+
+// FsLookupCtx is FsLookup carrying the request context into the upcall.
+func (d *DLFS) FsLookupCtx(ctx context.Context, cred fs.Cred, name string) (vfs.Node, error) {
 	path, tok, hasToken := token.Extract(name)
 	if hasToken {
-		resp, err := d.cfg.Upcall.Upcall(upcall.Request{
+		resp, err := upcall.Call(ctx, d.cfg.Upcall, upcall.Request{
 			Op:    upcall.OpValidateToken,
 			Path:  path,
 			Token: tok,
@@ -152,6 +161,11 @@ func (d *DLFS) FsLookup(cred fs.Cred, name string) (vfs.Node, error) {
 
 // FsOpen enforces the control-mode semantics of Table 1 at open time.
 func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFile, error) {
+	return d.FsOpenCtx(context.Background(), cred, vn, mode)
+}
+
+// FsOpenCtx is FsOpen carrying the request context into the upcalls.
+func (d *DLFS) FsOpenCtx(ctx context.Context, cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFile, error) {
 	n, ok := vn.(*node)
 	if !ok {
 		return nil, fs.ErrInvalid
@@ -174,12 +188,12 @@ func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFi
 	case dlfmOwned:
 		// Full database control (rdb/rdd) — or an rfd file currently taken
 		// over for update. Every open goes through DLFM.
-		return d.managedOpen(cred, n, write)
+		return d.managedOpen(ctx, cred, n, write)
 	case write:
 		// Try the native open first (§4.2's lazy write path).
 		err := d.cfg.Phys.OpenCheck(n.ino, cred, mode)
 		if err == nil {
-			return d.nativeOpen(cred, n, write)
+			return d.nativeOpen(ctx, cred, n, write)
 		}
 		if !errors.Is(err, fs.ErrPermission) {
 			return nil, err
@@ -187,7 +201,7 @@ func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFi
 		// Read-only at the FS level: either an rfd/rfb linked file or a
 		// genuinely read-only file. Ask DLFM.
 		d.ctr.openWriteLazy.Inc()
-		of, uerr := d.managedOpen(cred, n, write)
+		of, uerr := d.managedOpen(ctx, cred, n, write)
 		if uerr == nil {
 			return of, nil
 		}
@@ -205,7 +219,7 @@ func (d *DLFS) FsOpen(cred fs.Cred, vn vfs.Node, mode fs.AccessMode) (vfs.OpenFi
 			return nil, err
 		}
 		d.ctr.openReadNative.Inc()
-		return d.nativeOpen(cred, n, false)
+		return d.nativeOpen(ctx, cred, n, false)
 	}
 }
 
@@ -218,12 +232,12 @@ func (e notLinkedError) Error() string { return e.msg }
 // nativeOpen completes an open the physical file system already authorized.
 // With the strict extension on, the open is still registered with DLFM so
 // link processing can detect open files (§4.5 future work).
-func (d *DLFS) nativeOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, error) {
+func (d *DLFS) nativeOpen(ctx context.Context, cred fs.Cred, n *node, write bool) (vfs.OpenFile, error) {
 	if !d.cfg.Strict {
 		d.ctr.openNative.Inc()
 		return &openFile{write: write}, nil
 	}
-	resp, err := d.cfg.Upcall.Upcall(upcall.Request{
+	resp, err := upcall.Call(ctx, d.cfg.Upcall, upcall.Request{
 		Op:     upcall.OpReadOpen,
 		Path:   n.path,
 		UID:    int32(cred.UID),
@@ -240,12 +254,12 @@ func (d *DLFS) nativeOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, erro
 }
 
 // managedOpen runs the upcall-approved open protocol.
-func (d *DLFS) managedOpen(cred fs.Cred, n *node, write bool) (vfs.OpenFile, error) {
+func (d *DLFS) managedOpen(ctx context.Context, cred fs.Cred, n *node, write bool) (vfs.OpenFile, error) {
 	op := upcall.OpReadOpen
 	if write {
 		op = upcall.OpWriteOpen
 	}
-	resp, err := d.cfg.Upcall.Upcall(upcall.Request{
+	resp, err := upcall.Call(ctx, d.cfg.Upcall, upcall.Request{
 		Op:    op,
 		Path:  n.path,
 		UID:   int32(cred.UID),
@@ -315,6 +329,12 @@ func (d *DLFS) abandonOpen(n *node, of *openFile) {
 // the Sync read entry (read opens). A failed close means the update rolled
 // back, and the application sees the error — exactly §4.2.
 func (d *DLFS) FsClose(cred fs.Cred, vn vfs.Node, ofi vfs.OpenFile) error {
+	return d.FsCloseCtx(context.Background(), cred, vn, ofi)
+}
+
+// FsCloseCtx is FsClose carrying the request context into the end-transaction
+// upcall.
+func (d *DLFS) FsCloseCtx(ctx context.Context, cred fs.Cred, vn vfs.Node, ofi vfs.OpenFile) error {
 	n, ok := vn.(*node)
 	if !ok {
 		return fs.ErrInvalid
@@ -327,7 +347,7 @@ func (d *DLFS) FsClose(cred fs.Cred, vn vfs.Node, ofi vfs.OpenFile) error {
 	if err != nil {
 		return err
 	}
-	resp, err := d.cfg.Upcall.Upcall(upcall.Request{
+	resp, err := upcall.Call(ctx, d.cfg.Upcall, upcall.Request{
 		Op:     upcall.OpClose,
 		Path:   n.path,
 		OpenID: of.openID,

@@ -124,13 +124,29 @@ func (s *Syncer) AfterWrite() error {
 	return s.doFlush()
 }
 
+// Rounds reports how many group-commit flush rounds have completed.
+func (s *Syncer) Rounds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completes
+}
+
 // Barrier is the commit hook: under PolicyGroup it returns only after a
 // flush that started after the caller's writes has completed, sharing that
 // flush with every concurrent committer. PolicyAlways already flushed per
 // write and PolicyNone promises nothing, so both return immediately.
 func (s *Syncer) Barrier() error {
+	_, err := s.BarrierRound()
+	return err
+}
+
+// BarrierRound is Barrier, additionally reporting the 1-based group-commit
+// round whose completion made the caller's writes durable (0 when the policy
+// has no rounds — none/always don't group). Traces attach it to the fsync
+// span so one commit can be placed in its round.
+func (s *Syncer) BarrierRound() (uint64, error) {
 	if s.policy != PolicyGroup {
-		return nil
+		return 0, nil
 	}
 	s.mu.Lock()
 	// Any round that BEGINS after this point covers our writes. If a round is
@@ -141,7 +157,7 @@ func (s *Syncer) Barrier() error {
 		if s.completes >= need {
 			err := s.lastErr
 			s.mu.Unlock()
-			return err
+			return need, err
 		}
 		if !s.flushing {
 			s.flushing = true

@@ -77,6 +77,10 @@ func runE20() ([]*Table, error) {
 			// session janitor can abort the ghost and move on.
 			OpenWait:   50 * time.Millisecond,
 			TCPUpcalls: true,
+			// Tracing on: the soak doubles as the injected-vs-real latency
+			// attribution check (chaos_delay_ms lands on wire spans).
+			Trace:         true,
+			TraceCapacity: 4096,
 			UpcallNet: &upcall.NetConfig{Client: upcall.ClientConfig{
 				PoolSize:       4,
 				AttemptTimeout: 150 * time.Millisecond,
@@ -257,6 +261,35 @@ func runE20() ([]*Table, error) {
 	)
 	ft.Note("a ghost abort clears in-update state left by an op whose request was applied but whose ack was lost (at-least-once delivery)")
 
+	// Latency attribution: every trace separates injected wire delay
+	// (chaos_delay_ms attrs) from real work. Injected time is part of the
+	// observed wall time, so per trace the sum over wire spans can never
+	// exceed the root duration — if it does, the attribution is lying.
+	traced, withInjected, attrViolations := 0, 0, 0
+	var worst string
+	for _, tr := range srv.Obs.Recent(4096) {
+		traced++
+		injected := time.Duration(0)
+		for _, w := range tr.Root().FindAll("wire") {
+			if v, ok := w.Attr("chaos_delay_ms"); ok {
+				if ms, ok := v.(float64); ok {
+					injected += time.Duration(ms * float64(time.Millisecond))
+				}
+			}
+		}
+		if injected == 0 {
+			continue
+		}
+		withInjected++
+		if injected > tr.Duration()+time.Millisecond {
+			attrViolations++
+			if worst == "" {
+				worst = fmt.Sprintf("trace %d op=%s injected=%v wall=%v", tr.ID(), tr.Op(), injected, tr.Duration())
+			}
+		}
+	}
+	ft.Note("trace attribution: %d traces retained, %d carry injected wire delay, %d violate injected<=wall", traced, withInjected, attrViolations)
+
 	if lost > 0 {
 		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: %d file(s) ended OLDER than their last acknowledged commit", lost)
 	}
@@ -265,6 +298,12 @@ func runE20() ([]*Table, error) {
 	}
 	if maxOp > opTimeout+opTimeout/2 {
 		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: an op took %v, beyond the %v deadline — a client hung", maxOp, opTimeout)
+	}
+	if st.Delays > 0 && withInjected == 0 {
+		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: chaos injected %d delays but no trace carries a chaos_delay_ms wire attr", st.Delays)
+	}
+	if attrViolations > 0 {
+		return []*Table{t, ft}, fmt.Errorf("E20 FAILED: %d trace(s) report more injected delay than observed wall time (first: %s)", attrViolations, worst)
 	}
 	return []*Table{t, ft}, nil
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,10 @@ var (
 	// deployment) instead of in-process calls, and reports per-op latency
 	// percentiles measured through the resilient client.
 	ConcurrencyNet = false
+	// ConcurrencyTrace turns request-scoped tracing on for every member —
+	// E22 re-runs the E13 hot path with and without it to price the
+	// instrumentation.
+	ConcurrencyTrace = false
 )
 
 // runE13 drives N concurrent sessions against M file servers and reports
@@ -150,6 +155,7 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 			UpcallLatency: ConcurrencyUpcallLatency,
 			OpenWait:      10 * time.Second,
 			TCPUpcalls:    ConcurrencyNet,
+			Trace:         ConcurrencyTrace,
 		}
 	}
 	c, err := core.NewCluster(core.ClusterConfig{Members: members, LockTimeout: 10 * time.Second})
@@ -256,9 +262,12 @@ func concurrencyRound(sessions int) (time.Duration, int64, concurrencyStats, err
 		stats.fsReads += srv.Phys.Stats.Reads.Load()
 		if ConcurrencyNet {
 			reg := srv.Transport.Metrics()
-			for _, op := range upcall.Ops() {
-				key := op.String()
-				stats.perOp[key] = append(stats.perOp[key], reg.Histogram("upcall.latency."+key).Samples()...)
+			// Enumerate whatever per-op latency histograms the round produced
+			// (sorted by name) instead of hand-listing the op set.
+			for _, nh := range reg.Histograms() {
+				if key, ok := strings.CutPrefix(nh.Name, "upcall.latency."); ok {
+					stats.perOp[key] = append(stats.perOp[key], nh.Hist.Samples()...)
+				}
 			}
 			stats.retries += reg.Counter("upcall.retries").Value()
 			stats.giveups += reg.Counter("upcall.giveups").Value()

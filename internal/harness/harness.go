@@ -10,7 +10,15 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"datalinks/internal/metrics"
 )
+
+func init() {
+	// The experiments report exact order-statistic percentiles; production
+	// histograms keep only buckets.
+	metrics.RetainExactSamples(true)
+}
 
 // Table is an aligned text table with a caption.
 type Table struct {

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,18 +31,76 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
-// Histogram records durations and reports simple order statistics.
-// It keeps every sample; experiments are small enough that this is fine and
-// it keeps percentiles exact.
+// exactSamples opts the whole process into retaining every raw sample next
+// to the buckets. The experiment harness turns it on so cross-server sample
+// merging and exact order statistics keep working; a long-running daemon
+// leaves it off and its histograms stay fixed-size.
+var exactSamples atomic.Bool
+
+// RetainExactSamples toggles raw-sample retention for histograms
+// process-wide. Only the test/bench harness should enable it: with it on,
+// every Observe appends to an unbounded slice again.
+func RetainExactSamples(on bool) { exactSamples.Store(on) }
+
+// Histogram records durations into fixed-size log-linear buckets: one octave
+// per power of two, 64 linear sub-buckets per octave, so any reconstructed
+// quantile is within 1/128 (0.79%) of the true sample value while memory
+// stays bounded no matter how many samples a soak-length run observes.
+// Count, sum (hence mean) and max are tracked exactly.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets []uint64        // grown on demand, capped by bucketIndex range
+	samples []time.Duration // raw samples, only under RetainExactSamples
+}
+
+// bucketIndex maps a duration to its log-linear bucket. Durations below 64ns
+// get exact unit buckets; above that, each power-of-two octave splits into 64
+// linear sub-buckets.
+func bucketIndex(d time.Duration) int {
+	u := uint64(d)
+	if d < 0 {
+		u = 0
+	}
+	if u < 64 {
+		return int(u)
+	}
+	shift := bits.Len64(u) - 7
+	return int(u>>uint(shift)) + shift<<6
+}
+
+// bucketValue returns the midpoint of a bucket, the value Quantile reports
+// for samples that landed there.
+func bucketValue(idx int) time.Duration {
+	if idx < 64 {
+		return time.Duration(idx)
+	}
+	shift := idx>>6 - 1
+	sub := idx - shift<<6 // in [64, 128)
+	lo := uint64(sub) << uint(shift)
+	return time.Duration(lo + 1<<uint(shift)/2)
 }
 
 // Observe records one duration sample.
 func (h *Histogram) Observe(d time.Duration) {
+	idx := bucketIndex(d)
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if idx >= len(h.buckets) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[idx]++
+	if exactSamples.Load() {
+		h.samples = append(h.samples, d)
+	}
 	h.mu.Unlock()
 }
 
@@ -49,12 +108,21 @@ func (h *Histogram) Observe(d time.Duration) {
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
+}
+
+// Sum returns the exact total of all recorded samples.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
+	h.count, h.sum, h.max = 0, 0, 0
+	h.buckets = nil
 	h.samples = nil
 	h.mu.Unlock()
 }
@@ -63,41 +131,51 @@ func (h *Histogram) Reset() {
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range h.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of the samples, or 0 if empty.
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples, or 0 if
+// empty. The value is the midpoint of the bucket holding the q-th order
+// statistic — within 0.79% of the exact sample.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > h.count {
+		rank = h.count
 	}
-	return sorted[idx]
+	var cum int64
+	for idx, n := range h.buckets {
+		cum += int64(n)
+		if cum >= rank {
+			v := bucketValue(idx)
+			if v > h.max {
+				return h.max // the top bucket's midpoint can overshoot the true max
+			}
+			return v
+		}
+	}
+	return h.max
 }
 
-// Samples returns a copy of the recorded samples (experiments merge
-// per-server histograms before computing cross-server percentiles).
+// Samples returns a copy of the raw samples (experiments merge per-server
+// histograms before computing cross-server percentiles). Raw samples exist
+// only under RetainExactSamples; otherwise this returns nil.
 func (h *Histogram) Samples() []time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.samples == nil {
+		return nil
+	}
 	out := make([]time.Duration, len(h.samples))
 	copy(out, h.samples)
 	return out
@@ -107,13 +185,7 @@ func (h *Histogram) Samples() []time.Duration {
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	var max time.Duration
-	for _, s := range h.samples {
-		if s > max {
-			max = s
-		}
-	}
-	return max
+	return h.max
 }
 
 // Registry is a named collection of counters and histograms. The zero value
@@ -162,27 +234,47 @@ func (r *Registry) ResetAll() {
 	})
 }
 
-// Snapshot returns counter values keyed by name, for test assertions.
-func (r *Registry) Snapshot() map[string]int64 {
-	out := make(map[string]int64)
+// NameValue is one counter in a Snapshot.
+type NameValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter as name→value pairs sorted by name — the
+// enumeration order consumers (table printers, the metrics exposition
+// endpoint) can rely on.
+func (r *Registry) Snapshot() []NameValue {
+	var out []NameValue
 	r.ctrs.Range(func(k, v any) bool {
-		out[k.(string)] = v.(*Counter).Value()
+		out = append(out, NameValue{Name: k.(string), Value: v.(*Counter).Value()})
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedHistogram is one histogram in a Histograms enumeration.
+type NamedHistogram struct {
+	Name string
+	Hist *Histogram
+}
+
+// Histograms returns every histogram sorted by name.
+func (r *Registry) Histograms() []NamedHistogram {
+	var out []NamedHistogram
+	r.hists.Range(func(k, v any) bool {
+		out = append(out, NamedHistogram{Name: k.(string), Hist: v.(*Histogram)})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // String renders all counters sorted by name, one per line.
 func (r *Registry) String() string {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	s := ""
-	for _, n := range names {
-		s += fmt.Sprintf("%-40s %d\n", n, snap[n])
+	for _, nv := range r.Snapshot() {
+		s += fmt.Sprintf("%-40s %d\n", nv.Name, nv.Value)
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -38,6 +39,22 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+// within asserts got is within 1% of want (the bucketed histogram's accuracy
+// contract).
+func within(t *testing.T, label string, got, want time.Duration) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %v, want 0", label, got)
+		}
+		return
+	}
+	err := math.Abs(float64(got-want)) / float64(want)
+	if err > 0.01 {
+		t.Fatalf("%s = %v, want %v within 1%% (off by %.2f%%)", label, got, want, err*100)
+	}
+}
+
 func TestHistogramStats(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {
@@ -46,15 +63,16 @@ func TestHistogramStats(t *testing.T) {
 	if h.Count() != 100 {
 		t.Fatalf("count = %d", h.Count())
 	}
+	// Count, sum, mean and max are tracked exactly; quantiles come from
+	// bucket midpoints and must land within 1%.
 	if m := h.Mean(); m != 50500*time.Microsecond {
 		t.Fatalf("mean = %v", m)
 	}
-	if p := h.Quantile(0.5); p != 50*time.Millisecond {
-		t.Fatalf("p50 = %v", p)
+	if s := h.Sum(); s != 5050*time.Millisecond {
+		t.Fatalf("sum = %v", s)
 	}
-	if p := h.Quantile(0.95); p != 95*time.Millisecond {
-		t.Fatalf("p95 = %v", p)
-	}
+	within(t, "p50", h.Quantile(0.5), 50*time.Millisecond)
+	within(t, "p95", h.Quantile(0.95), 95*time.Millisecond)
 	if max := h.Max(); max != 100*time.Millisecond {
 		t.Fatalf("max = %v", max)
 	}
@@ -64,15 +82,67 @@ func TestHistogramStats(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileAccuracyAcrossScales(t *testing.T) {
+	// From nanoseconds to minutes: every reconstructed quantile must stay
+	// within the 1% contract of the exact order statistic.
+	for _, base := range []time.Duration{time.Nanosecond, time.Microsecond, time.Millisecond, time.Second, time.Minute} {
+		var h Histogram
+		samples := make([]time.Duration, 0, 1000)
+		for i := 1; i <= 1000; i++ {
+			d := base * time.Duration(i)
+			h.Observe(d)
+			samples = append(samples, d)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+			idx := int(math.Ceil(q*1000)) - 1
+			within(t, "quantile", h.Quantile(q), samples[idx])
+		}
+	}
+}
+
+func TestHistogramBoundedWithoutOptIn(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 200_000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Samples(); got != nil {
+		t.Fatalf("raw samples retained without opt-in: %d", len(got))
+	}
+	if h.Count() != 200_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// The bucket array is capped by the index range, not the sample count.
+	if n := len(h.buckets); n > 3776 {
+		t.Fatalf("bucket array grew to %d entries", n)
+	}
+}
+
+func TestHistogramExactSampleOptIn(t *testing.T) {
+	RetainExactSamples(true)
+	defer RetainExactSamples(false)
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	got := h.Samples()
+	if len(got) != 10 || got[0] != time.Millisecond || got[9] != 10*time.Millisecond {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
 func TestRegistryReuseAndSnapshot(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("a").Inc()
-	r.Counter("a").Inc()
 	r.Counter("b").Add(3)
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
 	r.Histogram("h").Observe(time.Millisecond)
 	snap := r.Snapshot()
-	if snap["a"] != 2 || snap["b"] != 3 {
+	if len(snap) != 2 || snap[0] != (NameValue{"a", 2}) || snap[1] != (NameValue{"b", 3}) {
 		t.Fatalf("snapshot = %v", snap)
+	}
+	hists := r.Histograms()
+	if len(hists) != 1 || hists[0].Name != "h" || hists[0].Hist.Count() != 1 {
+		t.Fatalf("histograms = %v", hists)
 	}
 	if !strings.Contains(r.String(), "a") {
 		t.Fatal("String missing counter")

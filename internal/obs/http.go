@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"datalinks/internal/metrics"
+)
+
+// WritePrometheus renders a registry in the Prometheus text exposition
+// format (version 0.0.4). Counters export as counters; histograms export as
+// summaries (p50/p95/p99 quantiles plus _sum in seconds and _count), which
+// the log-linear buckets reconstruct within 1%. Output order is the sorted
+// Snapshot order, so scrapes are diff-stable.
+func WritePrometheus(w io.Writer, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, nv := range reg.Snapshot() {
+		name := promName(nv.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, nv.Value)
+	}
+	for _, nh := range reg.Histograms() {
+		name := promName(nh.Name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", name, q, nh.Hist.Quantile(q).Seconds())
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", name, nh.Hist.Sum().Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, nh.Hist.Count())
+	}
+}
+
+// promName maps a dotted registry name to a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dl_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// TracesJSON is the /debug/traces response body.
+type TracesJSON struct {
+	Recent  []TraceJSON `json:"recent"`
+	Slowest []TraceJSON `json:"slowest"`
+}
+
+// Mux serves the observability endpoints for one server:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/traces   recent and slowest traces as JSON (?n= bounds each list)
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// Either source may be nil (that section is simply empty).
+func Mux(reg *metrics.Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		body := TracesJSON{Recent: []TraceJSON{}, Slowest: []TraceJSON{}}
+		for _, tr := range tracer.Recent(n) {
+			body.Recent = append(body.Recent, tr.JSON())
+		}
+		for _, tr := range tracer.Slowest(n) {
+			body.Slowest = append(body.Slowest, tr.JSON())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RenderText writes a human-readable span tree (dlctl -demo trace).
+func RenderText(w io.Writer, tr *Trace) {
+	if tr == nil {
+		fmt.Fprintln(w, "(no trace)")
+		return
+	}
+	fmt.Fprintf(w, "trace %d op=%s %v\n", tr.ID(), tr.Op(), tr.Duration().Round(time.Microsecond))
+	renderSpan(w, tr.Root(), 1)
+}
+
+func renderSpan(w io.Writer, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s%s %v", strings.Repeat("  ", depth), s.Name(), s.Duration().Round(time.Microsecond))
+	s.mu.Lock()
+	attrs := make([]Attr, len(s.attrs))
+	copy(attrs, s.attrs)
+	s.mu.Unlock()
+	for _, a := range attrs {
+		fmt.Fprintf(w, " %s=%v", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children() {
+		renderSpan(w, c, depth+1)
+	}
+}

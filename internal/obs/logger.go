@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is an event severity.
+type Level int8
+
+// Severity levels, in increasing order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// Logger emits structured one-line JSON events: {"ts":...,"level":...,
+// "event":..., <fields>}. Keys are sorted, so lines are stable for grep and
+// for test assertions. A nil *Logger discards everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	clock func() time.Time
+}
+
+// NewLogger builds a logger writing events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, clock: time.Now}
+}
+
+// Log emits one event. Fields may be nil.
+func (l *Logger) Log(level Level, event string, fields map[string]any) {
+	if l == nil || level < l.min {
+		return
+	}
+	line := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["ts"] = l.clock().Format(time.RFC3339Nano)
+	line["level"] = level.String()
+	line["event"] = event
+	buf, err := json.Marshal(line) // map keys marshal sorted
+	if err != nil {
+		buf = []byte(fmt.Sprintf(`{"level":"error","event":"logger_marshal_failed","orig":%q}`, event))
+	}
+	l.mu.Lock()
+	l.w.Write(append(buf, '\n'))
+	l.mu.Unlock()
+}
+
+// Debug emits a debug-level event.
+func (l *Logger) Debug(event string, fields map[string]any) { l.Log(LevelDebug, event, fields) }
+
+// Info emits an info-level event.
+func (l *Logger) Info(event string, fields map[string]any) { l.Log(LevelInfo, event, fields) }
+
+// Warn emits a warn-level event.
+func (l *Logger) Warn(event string, fields map[string]any) { l.Log(LevelWarn, event, fields) }
+
+// Error emits an error-level event.
+func (l *Logger) Error(event string, fields map[string]any) { l.Log(LevelError, event, fields) }

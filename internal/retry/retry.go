@@ -107,6 +107,19 @@ func (p Policy) Delay(retryN int) time.Duration {
 	return time.Duration(jitterRand.Int63n(int64(d) + 1))
 }
 
+// attemptKey carries the 1-based attempt number into op's context.
+type attemptKey struct{}
+
+// Attempt returns the 1-based attempt number of the retry loop the context
+// belongs to, or 1 outside a Do loop. Tracing uses it to label wire-attempt
+// spans without threading another parameter through every transport layer.
+func Attempt(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok {
+		return n
+	}
+	return 1
+}
+
 // Do runs op until it succeeds, returns a Permanent error, exhausts
 // MaxAttempts, exceeds Budget, or the context ends. The last error is
 // returned as-is so callers can errors.Is/As against the underlying cause.
@@ -120,7 +133,7 @@ func Do(ctx context.Context, p Policy, classify Classifier, op func(ctx context.
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := op(ctx)
+		err := op(context.WithValue(ctx, attemptKey{}, attempt))
 		if err == nil {
 			return nil
 		}

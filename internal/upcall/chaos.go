@@ -1,12 +1,15 @@
 package upcall
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datalinks/internal/obs"
 )
 
 // Delay is a uniform injected-latency distribution: with probability Prob,
@@ -117,8 +120,14 @@ type chaosService struct {
 }
 
 func (s *chaosService) Upcall(req Request) (Response, error) {
+	return s.UpcallCtx(context.Background(), req)
+}
+
+// UpcallCtx injects faults, attributing any injected delay to the request's
+// span (attr chaos_delay_ms) so traces separate injected from real latency.
+func (s *chaosService) UpcallCtx(ctx context.Context, req Request) (Response, error) {
 	if !s.c.active() {
-		return s.svc.Upcall(req)
+		return Call(ctx, s.svc, req)
 	}
 	if s.c.partitioned.Load() {
 		s.c.partHits.Add(1)
@@ -127,6 +136,7 @@ func (s *chaosService) Upcall(req Request) (Response, error) {
 	delay, drop, reset := s.c.roll()
 	if delay > 0 {
 		time.Sleep(delay)
+		obs.SpanFrom(ctx).SetAttr("chaos_delay_ms", float64(delay.Nanoseconds())/1e6)
 	}
 	if reset {
 		s.c.resets.Add(1)
@@ -136,7 +146,7 @@ func (s *chaosService) Upcall(req Request) (Response, error) {
 		s.c.drops.Add(1)
 		return Response{}, connLost(errChaosDropped)
 	}
-	return s.svc.Upcall(req)
+	return Call(ctx, s.svc, req)
 }
 
 // WrapDial wraps a DialFunc so every connection it opens injects faults at
@@ -162,10 +172,19 @@ func (c *Chaos) WrapDial(dial DialFunc) DialFunc {
 	}
 }
 
-// chaosConn injects faults on a live connection.
+// chaosConn injects faults on a live connection. injected accumulates the
+// delay this connection has slept so far (nanoseconds); the client reads the
+// delta around one request's I/O to attribute injected latency to that
+// request's wire span (attr chaos_delay_ms).
 type chaosConn struct {
 	net.Conn
-	c *Chaos
+	c        *Chaos
+	injected atomic.Int64
+}
+
+// injectedDelay returns the total delay injected on this connection so far.
+func (cc *chaosConn) injectedDelay() time.Duration {
+	return time.Duration(cc.injected.Load())
 }
 
 func (cc *chaosConn) Write(p []byte) (int, error) {
@@ -180,6 +199,7 @@ func (cc *chaosConn) Write(p []byte) (int, error) {
 	}
 	delay, drop, reset := c.roll()
 	if delay > 0 {
+		cc.injected.Add(int64(delay))
 		time.Sleep(delay)
 	}
 	if reset {
@@ -208,6 +228,7 @@ func (cc *chaosConn) Read(p []byte) (int, error) {
 	}
 	delay, _, reset := c.roll()
 	if delay > 0 {
+		cc.injected.Add(int64(delay))
 		time.Sleep(delay)
 	}
 	if reset {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 	"datalinks/internal/retry"
 )
 
@@ -204,8 +205,15 @@ func (c *Client) Upcall(req Request) (Response, error) {
 }
 
 // UpcallCtx sends the request under the caller's context. The context
-// deadline bounds the whole op — every attempt, every backoff sleep.
+// deadline bounds the whole op — every attempt, every backoff sleep; a
+// context without a deadline falls back to the configured OpTimeout so a
+// span-carrying context can never disable the per-op bound.
 func (c *Client) UpcallCtx(ctx context.Context, req Request) (Response, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.OpTimeout)
+		defer cancel()
+	}
 	var resp Response
 	p := c.cfg.Retry
 	userOnRetry := p.OnRetry
@@ -245,11 +253,26 @@ func (c *Client) UpcallCtx(ctx context.Context, req Request) (Response, error) {
 // attempt runs one request/response exchange on one pooled connection.
 // Any connection-scoped fault retires the connection so its state (a stale
 // in-flight response, a half-written frame) can never poison a later
-// request.
+// request. Each attempt gets its own "wire" span — a retried op therefore
+// shows one trace with N wire-attempt children, and injected chaos delay on
+// this connection is attributed to the wire span it actually slowed.
 func (c *Client) attempt(ctx context.Context, req Request) (Response, error) {
+	wire := obs.SpanFrom(ctx).Child("wire")
+	defer wire.End()
+	wire.SetAttr("op", req.Op.String())
+	wire.SetAttr("attempt", retry.Attempt(ctx))
+	fail := func(err error) (Response, error) {
+		wire.SetAttr("error", err.Error())
+		return Response{}, err
+	}
 	cc, err := c.get(ctx)
 	if err != nil {
-		return Response{}, err
+		return fail(err)
+	}
+	var chaosBefore time.Duration
+	chaos, _ := cc.conn.(*chaosConn)
+	if chaos != nil && wire != nil {
+		chaosBefore = chaos.injectedDelay()
 	}
 	deadline := time.Now().Add(c.cfg.AttemptTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -257,20 +280,27 @@ func (c *Client) attempt(ctx context.Context, req Request) (Response, error) {
 	}
 	cc.conn.SetDeadline(deadline)
 	seq := c.seq.Add(1)
-	if err := writeFrame(cc.conn, c.cfg.MaxFrame, &envelope{Seq: seq, Req: req}); err != nil {
+	wc := wire.Wire()
+	if err := writeFrame(cc.conn, c.cfg.MaxFrame, &envelope{Seq: seq, Req: req, TraceID: wc.Trace, SpanID: wc.Span}); err != nil {
 		c.retire(cc)
-		return Response{}, connLost(err)
+		return fail(connLost(err))
 	}
 	var out envelope
 	if err := readFrame(cc.r, c.cfg.MaxFrame, &out); err != nil {
 		c.retire(cc)
-		return Response{}, connLost(err)
+		if chaos != nil && wire != nil {
+			wire.SetAttr("chaos_delay_ms", float64(chaos.injectedDelay()-chaosBefore)/1e6)
+		}
+		return fail(connLost(err))
+	}
+	if chaos != nil && wire != nil {
+		wire.SetAttr("chaos_delay_ms", float64(chaos.injectedDelay()-chaosBefore)/1e6)
 	}
 	if out.Seq != seq {
 		// A response meant for an earlier request on this connection:
 		// the stream is out of sync, kill it.
 		c.retire(cc)
-		return Response{}, connLost(fmt.Errorf("response seq %d for request seq %d", out.Seq, seq))
+		return fail(connLost(fmt.Errorf("response seq %d for request seq %d", out.Seq, seq)))
 	}
 	cc.conn.SetDeadline(time.Time{})
 	c.put(cc)

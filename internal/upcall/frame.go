@@ -36,6 +36,14 @@ type envelope struct {
 	// permanent.
 	Err       string
 	Retryable bool
+	// TraceID/SpanID propagate the client's trace context so the daemon can
+	// stitch its spans under the request's wire span. Optional by
+	// construction: gob omits zero-valued fields on encode and ignores
+	// unknown fields on decode, so an old peer on either end of the
+	// connection simply sees (or sends) an untraced request — version skew
+	// is safe in both directions (tested in trace_test.go).
+	TraceID uint64
+	SpanID  uint32
 }
 
 // writeFrame encodes and writes one frame. The payload is staged in a

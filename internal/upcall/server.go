@@ -1,6 +1,7 @@
 package upcall
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 )
 
 // ServerConfig tunes the TCP upcall server's resource bounds. The zero
@@ -45,6 +47,11 @@ type ServerConfig struct {
 	MaxFrame int
 	// Metrics receives the server-side counters (nil: private registry).
 	Metrics *metrics.Registry
+	// Tracer, when set, adopts inbound trace contexts: a request carrying a
+	// TraceID gets a "server" span stitched under the client's wire span (or
+	// a standalone remote trace when the client lives in another process).
+	// nil: requests are served untraced.
+	Tracer *obs.Tracer
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -275,7 +282,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				<-s.gsem
 				handlers.Done()
 			}()
-			resp, err := s.svc.Upcall(e.Req)
+			ctx := context.Background()
+			if e.TraceID != 0 && s.cfg.Tracer.Enabled() {
+				sp, done := s.cfg.Tracer.Adopt(obs.WireContext{Trace: e.TraceID, Span: e.SpanID}, "server")
+				sp.SetAttr("op", e.Req.Op.String())
+				ctx = obs.ContextWithSpan(ctx, sp)
+				defer done()
+			}
+			resp, err := Call(ctx, s.svc, e.Req)
 			out := envelope{Seq: e.Seq, Resp: resp}
 			if err != nil {
 				out.Err = err.Error()

@@ -1,0 +1,250 @@
+package upcall
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"datalinks/internal/obs"
+	"datalinks/internal/retry"
+)
+
+// legacyEnvelope is the frame body as it existed before trace propagation —
+// no TraceID/SpanID. Gob matches struct fields by name, so this stands in
+// for an old peer on either end of the connection.
+type legacyEnvelope struct {
+	Seq       uint64
+	Req       Request
+	Resp      Response
+	Err       string
+	Retryable bool
+}
+
+// A new client talking to an old server: the old decoder must ignore the
+// trace fields; an old client talking to a new server: the new decoder must
+// see a zero (= untraced) wire context. Version skew is safe both ways.
+func TestEnvelopeVersionSkew(t *testing.T) {
+	// New encoder -> old decoder.
+	var buf bytes.Buffer
+	in := envelope{Seq: 9, Req: Request{Op: OpClose, Path: "/f"}, TraceID: 77, SpanID: 3}
+	if err := writeFrame(&buf, DefaultMaxFrame, &in); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	payload := buf.Bytes()[4:]
+	if n := binary.BigEndian.Uint32(buf.Bytes()[:4]); int(n) != len(payload) {
+		t.Fatalf("length prefix %d != payload %d", n, len(payload))
+	}
+	var old legacyEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&old); err != nil {
+		t.Fatalf("old peer failed to decode traced frame: %v", err)
+	}
+	if old.Seq != 9 || old.Req.Op != OpClose || old.Req.Path != "/f" {
+		t.Fatalf("payload lost in old decode: %+v", old)
+	}
+
+	// Old encoder -> new decoder.
+	var legacy bytes.Buffer
+	legacy.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&legacy).Encode(&legacyEnvelope{Seq: 4, Resp: Response{OK: true, OpenID: 12}}); err != nil {
+		t.Fatalf("legacy encode: %v", err)
+	}
+	b := legacy.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	var out envelope
+	if err := readFrame(bytes.NewReader(b), DefaultMaxFrame, &out); err != nil {
+		t.Fatalf("new peer failed to decode legacy frame: %v", err)
+	}
+	if out.Seq != 4 || !out.Resp.OK || out.Resp.OpenID != 12 {
+		t.Fatalf("payload lost in new decode: %+v", out)
+	}
+	if out.TraceID != 0 || out.SpanID != 0 {
+		t.Fatalf("legacy frame must decode as untraced, got trace=%d span=%d", out.TraceID, out.SpanID)
+	}
+}
+
+// A dropped-then-retried upcall must yield ONE trace with two wire-attempt
+// child spans — not two traces. The first attempt's reply is swallowed (the
+// handler reads the frame and goes silent until the attempt deadline); the
+// retry lands on a fresh connection and succeeds.
+func TestRetriedUpcallIsOneTraceWithTwoWireAttempts(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			var e envelope
+			readFrame(bufio.NewReader(conn), DefaultMaxFrame, &e)
+			<-block // reply never comes; the client's attempt deadline fires
+		},
+		echoFrames(Response{OK: true}),
+	)
+	cfg := fastClient()
+	cfg.AttemptTimeout = 100 * time.Millisecond
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	tracer := obs.New(obs.Config{})
+	tr := tracer.Start("commit")
+	ctx := obs.ContextWithSpan(t.Context(), tr.Root())
+	resp, err := client.UpcallCtx(ctx, Request{Op: OpClose, Path: "/f"})
+	if err != nil || !resp.OK {
+		t.Fatalf("upcall after retry: %+v, %v", resp, err)
+	}
+	tr.Finish()
+
+	traces := tracer.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("retried op produced %d traces, want 1", len(traces))
+	}
+	assertTwoWireAttempts(t, traces[0])
+}
+
+// The same invariant must hold when the retry crosses a circuit-breaker
+// half-open probe: first attempt fails, the breaker opens, the backoff
+// outlives the cooldown, and the probe attempt is still a wire span of the
+// SAME trace.
+func TestRetryAcrossBreakerProbeStaysOneTrace(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := rawServer(t,
+		func(conn net.Conn) {
+			var e envelope
+			readFrame(bufio.NewReader(conn), DefaultMaxFrame, &e)
+			<-block
+		},
+		echoFrames(Response{OK: true}),
+	)
+	cfg := ClientConfig{
+		PoolSize:       1,
+		DialTimeout:    time.Second,
+		AttemptTimeout: 50 * time.Millisecond,
+		// Backoff (fixed 30ms, identity jitter) outlives the breaker
+		// cooldown (5ms): attempt 1 opens the circuit, attempt 2 is the
+		// half-open probe.
+		Retry:   retry.Policy{MaxAttempts: 4, BaseDelay: 30 * time.Millisecond, MaxDelay: 30 * time.Millisecond, Jitter: func(d time.Duration) time.Duration { return d }},
+		Breaker: &retry.BreakerConfig{Threshold: 1, Cooldown: 5 * time.Millisecond},
+	}
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	tracer := obs.New(obs.Config{})
+	tr := tracer.Start("commit")
+	ctx := obs.ContextWithSpan(t.Context(), tr.Root())
+	resp, err := client.UpcallCtx(ctx, Request{Op: OpClose, Path: "/f"})
+	if err != nil || !resp.OK {
+		t.Fatalf("upcall across breaker probe: %+v, %v", resp, err)
+	}
+	tr.Finish()
+
+	traces := tracer.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("probe retry produced %d traces, want 1", len(traces))
+	}
+	assertTwoWireAttempts(t, traces[0])
+}
+
+func assertTwoWireAttempts(t *testing.T, tr *obs.Trace) {
+	t.Helper()
+	wires := tr.Root().FindAll("wire")
+	if len(wires) != 2 {
+		t.Fatalf("trace has %d wire spans, want 2", len(wires))
+	}
+	for i, w := range wires {
+		got, ok := w.Attr("attempt")
+		if !ok || got.(int) != i+1 {
+			t.Fatalf("wire span %d: attempt attr = %v, %v", i, got, ok)
+		}
+	}
+	if _, ok := wires[0].Attr("error"); !ok {
+		t.Fatal("first (dropped) wire attempt has no error attr")
+	}
+	if _, ok := wires[1].Attr("error"); ok {
+		t.Fatal("successful wire attempt should not carry an error attr")
+	}
+}
+
+// Over real TCP with client and server sharing a process (the loopback
+// deployment every experiment uses), the server's span must stitch into the
+// client's live trace under the wire span that carried the request.
+func TestServerAdoptionStitchesOverTCP(t *testing.T) {
+	tracer := obs.New(obs.Config{})
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := ServeConfig(svc, "127.0.0.1:0", ServerConfig{Tracer: tracer})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	tr := tracer.Start("commit")
+	ctx := obs.ContextWithSpan(t.Context(), tr.Root())
+	if _, err := client.UpcallCtx(ctx, Request{Op: OpWriteOpen, Path: "/f"}); err != nil {
+		t.Fatalf("upcall: %v", err)
+	}
+	tr.Finish()
+
+	wire := tr.Root().Find("wire")
+	if wire == nil {
+		t.Fatal("no wire span")
+	}
+	srv := wire.Find("server")
+	if srv == nil || srv == wire {
+		t.Fatalf("server span not stitched under wire span (children: %d)", len(wire.Children()))
+	}
+	if op, _ := srv.Attr("op"); op != OpWriteOpen.String() {
+		t.Fatalf("server span op attr = %v", op)
+	}
+	if len(tracer.Recent(0)) != 1 {
+		t.Fatalf("stitched op recorded %d traces, want 1", len(tracer.Recent(0)))
+	}
+}
+
+// Chaos delay injected on the connection must be attributed to the wire
+// span that suffered it via the chaos_delay_ms attr.
+func TestChaosDelayAttributedToWireSpan(t *testing.T) {
+	svc := &echoService{resp: Response{OK: true}}
+	server, addr, err := Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer server.Close()
+	ch := &Chaos{Seed: 1, DelayDist: Delay{Prob: 1, Min: 5 * time.Millisecond, Max: 6 * time.Millisecond}}
+	client, err := DialConfig(addr, ClientConfig{Chaos: ch, DisableBreaker: true})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	tracer := obs.New(obs.Config{})
+	tr := tracer.Start("commit")
+	ctx := obs.ContextWithSpan(t.Context(), tr.Root())
+	if _, err := client.UpcallCtx(ctx, Request{Op: OpClose}); err != nil {
+		t.Fatalf("upcall: %v", err)
+	}
+	tr.Finish()
+
+	wire := tr.Root().Find("wire")
+	if wire == nil {
+		t.Fatal("no wire span")
+	}
+	v, ok := wire.Attr("chaos_delay_ms")
+	if !ok {
+		t.Fatal("wire span has no chaos_delay_ms attr")
+	}
+	if ms := v.(float64); ms < 5 {
+		t.Fatalf("chaos_delay_ms = %v, want >= 5 (write + read delays)", ms)
+	}
+}

@@ -22,11 +22,13 @@
 package upcall
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"datalinks/internal/metrics"
+	"datalinks/internal/obs"
 )
 
 // Op identifies the upcall operation.
@@ -112,6 +114,23 @@ type Service interface {
 	Upcall(req Request) (Response, error)
 }
 
+// CtxService is implemented by services that accept a request context — the
+// carrier for trace spans (and future deadlines) across the upcall plane.
+// Service stays the required interface so existing implementations keep
+// working; Call upgrades to CtxService when available.
+type CtxService interface {
+	UpcallCtx(ctx context.Context, req Request) (Response, error)
+}
+
+// Call invokes svc with the context when it supports one, else plain Upcall.
+// The single dispatch point every DLFS hook goes through.
+func Call(ctx context.Context, svc Service, req Request) (Response, error) {
+	if cs, ok := svc.(CtxService); ok {
+		return cs.UpcallCtx(ctx, req)
+	}
+	return svc.Upcall(req)
+}
+
 // Transport-fault taxonomy. ErrTransport is the base class every transport
 // failure wraps; the retry classifier keys off the finer-grained sentinels.
 var (
@@ -176,7 +195,21 @@ func NewInProcWidth(svc Service, latency time.Duration, width int, reg *metrics.
 // Upcall forwards the request, counting and timing it (aggregate and
 // per-op, so experiments report p50/p95/p99 per operation).
 func (t *Transport) Upcall(req Request) (Response, error) {
+	return t.UpcallCtx(context.Background(), req)
+}
+
+// UpcallCtx is Upcall carrying the request context through to the service.
+// When the context holds a trace span, the in-proc IPC hop gets its own
+// "upcall" child span — the in-process analogue of the TCP client's "wire"
+// span.
+func (t *Transport) UpcallCtx(ctx context.Context, req Request) (Response, error) {
 	start := time.Now()
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		c := sp.Child("upcall")
+		c.SetAttr("op", req.Op.String())
+		ctx = obs.ContextWithSpan(ctx, c)
+		defer c.End()
+	}
 	if t.sem != nil {
 		t.sem <- struct{}{}
 		defer func() { <-t.sem }()
@@ -184,7 +217,7 @@ func (t *Transport) Upcall(req Request) (Response, error) {
 	if t.latency > 0 {
 		time.Sleep(t.latency)
 	}
-	resp, err := t.svc.Upcall(req)
+	resp, err := Call(ctx, t.svc, req)
 	opName := req.Op.String()
 	t.reg.Counter("upcall." + opName).Inc()
 	t.reg.Counter("upcall.total").Inc()

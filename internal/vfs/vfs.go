@@ -16,6 +16,7 @@
 package vfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,6 +60,16 @@ type FileSystem interface {
 	FsLockctl(node Node, owner string, op fs.LockOp, block bool) error
 	// FsReaddir lists a directory.
 	FsReaddir(cred fs.Cred, name string) ([]string, error)
+}
+
+// CtxFileSystem is implemented by file systems whose interposed entry
+// points accept a request context — the carrier for trace spans. The LFS
+// upgrades to it when available; plain FileSystem implementations keep
+// working untraced (the same pattern as upcall.CtxService).
+type CtxFileSystem interface {
+	FsLookupCtx(ctx context.Context, cred fs.Cred, name string) (Node, error)
+	FsOpenCtx(ctx context.Context, cred fs.Cred, node Node, mode fs.AccessMode) (OpenFile, error)
+	FsCloseCtx(ctx context.Context, cred fs.Cred, node Node, of OpenFile) error
 }
 
 // Errors of the LFS layer.
@@ -130,7 +141,20 @@ func (l *LFS) Mounted() FileSystem { return l.fsys }
 // Open performs the open() system call: lookup, fd allocation, fs_open.
 // On any fs_open failure the fd is released, mirroring kernel behaviour.
 func (l *LFS) Open(cred fs.Cred, name string, mode fs.AccessMode) (FD, error) {
-	node, err := l.fsys.FsLookup(cred, name)
+	return l.OpenCtx(context.Background(), cred, name, mode)
+}
+
+// OpenCtx is Open under a request context, threading it through to a
+// CtxFileSystem's lookup and open hooks (trace propagation).
+func (l *LFS) OpenCtx(ctx context.Context, cred fs.Cred, name string, mode fs.AccessMode) (FD, error) {
+	cfs, hasCtx := l.fsys.(CtxFileSystem)
+	var node Node
+	var err error
+	if hasCtx {
+		node, err = cfs.FsLookupCtx(ctx, cred, name)
+	} else {
+		node, err = l.fsys.FsLookup(cred, name)
+	}
 	if err != nil {
 		return -1, fmt.Errorf("open %s: %w", name, err)
 	}
@@ -142,7 +166,12 @@ func (l *LFS) Open(cred fs.Cred, name string, mode fs.AccessMode) (FD, error) {
 	sh.table[fd] = entry
 	sh.mu.Unlock()
 
-	of, err := l.fsys.FsOpen(cred, node, mode)
+	var of OpenFile
+	if hasCtx {
+		of, err = cfs.FsOpenCtx(ctx, cred, node, mode)
+	} else {
+		of, err = l.fsys.FsOpen(cred, node, mode)
+	}
 	if err != nil {
 		sh.mu.Lock()
 		delete(sh.table, fd)
@@ -175,6 +204,12 @@ func (l *LFS) lookupFD(fd FD) (*fileEntry, error) {
 
 // Close releases the descriptor and calls fs_close.
 func (l *LFS) Close(fd FD) error {
+	return l.CloseCtx(context.Background(), fd)
+}
+
+// CloseCtx is Close under a request context, threading it through to a
+// CtxFileSystem's close hook (where update transactions commit).
+func (l *LFS) CloseCtx(ctx context.Context, fd FD) error {
 	sh := l.shard(fd)
 	sh.mu.Lock()
 	e, ok := sh.table[fd]
@@ -184,6 +219,9 @@ func (l *LFS) Close(fd FD) error {
 	sh.mu.Unlock()
 	if !ok {
 		return ErrBadFD
+	}
+	if cfs, hasCtx := l.fsys.(CtxFileSystem); hasCtx {
+		return cfs.FsCloseCtx(ctx, e.cred, e.node, e.of)
 	}
 	return l.fsys.FsClose(e.cred, e.node, e.of)
 }
