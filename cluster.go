@@ -30,6 +30,20 @@ type ClusterConfig struct {
 	TokenKey     []byte
 	TokenTTL     time.Duration
 	LockTimeout  time.Duration
+
+	// Replicas is the total number of copies of every path (owner plus ring
+	// successors). 0 or 1 disables replication.
+	Replicas int
+	// WriteQuorum is how many copies (owner included) must acknowledge a
+	// commit before close returns; 0 means all Replicas.
+	WriteQuorum int
+	// ReplicaReads lets reads fall back to a surviving replica while the
+	// owner is unreachable (stale-bounded; off by default).
+	ReplicaReads bool
+	// ProbeInterval enables the member health probe; with AutoFailover a
+	// member found dead is failed over without an operator.
+	ProbeInterval time.Duration
+	AutoFailover  bool
 }
 
 // Cluster is a running scale-out DataLinks deployment.
@@ -44,13 +58,18 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 		members[i] = toCoreServer(s)
 	}
 	c, err := core.NewCluster(core.ClusterConfig{
-		Authority:    cfg.Authority,
-		Members:      members,
-		VirtualNodes: cfg.VirtualNodes,
-		Clock:        cfg.Clock,
-		TokenKey:     cfg.TokenKey,
-		TokenTTL:     cfg.TokenTTL,
-		LockTimeout:  cfg.LockTimeout,
+		Authority:     cfg.Authority,
+		Members:       members,
+		VirtualNodes:  cfg.VirtualNodes,
+		Clock:         cfg.Clock,
+		TokenKey:      cfg.TokenKey,
+		TokenTTL:      cfg.TokenTTL,
+		LockTimeout:   cfg.LockTimeout,
+		Replicas:      cfg.Replicas,
+		WriteQuorum:   cfg.WriteQuorum,
+		ReplicaReads:  cfg.ReplicaReads,
+		ProbeInterval: cfg.ProbeInterval,
+		AutoFailover:  cfg.AutoFailover,
 	})
 	if err != nil {
 		return nil, err
@@ -90,6 +109,29 @@ func (c *Cluster) FailServer(id string) error { return c.inner.FailServer(id) }
 // AbsorbDead cold-starts a failed member's durable state and migrates its
 // namespace to the surviving members.
 func (c *Cluster) AbsorbDead(id string) error { return c.inner.AbsorbDead(id) }
+
+// KillServer kills a member's processes without informing the cluster — only
+// the health probe (or a later FailServer) notices. Use with ProbeInterval
+// to exercise automatic failure detection.
+func (c *Cluster) KillServer(id string) error { return c.inner.KillServer(id) }
+
+// FailoverReport describes what one Failover promoted.
+type FailoverReport = core.FailoverReport
+
+// Failover recovers a failed member's paths from their replicas: each
+// orphaned path is promoted on its first live ring successor, which already
+// holds the full history — no cold start, no AbsorbDead. Requires
+// Replicas > 1.
+func (c *Cluster) Failover(id string) (*FailoverReport, error) { return c.inner.Failover(id) }
+
+// ReplicaSet reports the members holding copies of a path: the current owner
+// first, then its ring successors in promotion order.
+func (c *Cluster) ReplicaSet(path string) []string { return c.inner.ReplicaSet(path) }
+
+// FlushReplication runs the anti-entropy pass: every owner repairs its
+// successors' copies and stale replicas are pruned. The quiesce barrier to
+// run before comparing owner and replica histories.
+func (c *Cluster) FlushReplication() error { return c.inner.FlushReplication() }
 
 // SeedFile creates an (unlinked) file on the member the ring places it on.
 func (c *Cluster) SeedFile(path string, content []byte, owner int32) error {

@@ -42,6 +42,15 @@
 //
 //	dlbench -exp E22 -e22-rounds 5 -e22-sessions 8 -e22-commits 20
 //	dlbench -exp E22 -json > BENCH_E22.json
+//
+// The E23 failover experiment soaks commits against a replicated cluster
+// (Replicas=2, write quorum 2), kills a member mid-round without telling the
+// router, and lets the health probe detect the death and promote replicas in
+// place. It FAILS on any lost acked commit, on per-path unavailability beyond
+// the declared budget, or on owner/replica history divergence after quiesce:
+//
+//	dlbench -exp E23 -e23-round 5s -e23-writers 32 -e23-budget 1s
+//	dlbench -exp E23 -json > BENCH_E23.json
 package main
 
 import (
@@ -113,6 +122,12 @@ func main() {
 		e22budg  = flag.Float64("e22-budget", 0, "E22: max tracing overhead as a fraction of untraced ops/s (e.g. 0.05)")
 		e22sess  = flag.Int("e22-sessions", 0, "E22: sessions in the commit-trace completeness phase")
 		e22comm  = flag.Int("e22-commits", 0, "E22: commits per session in the completeness phase")
+		e23srv   = flag.Int("e23-servers", 0, "E23: cluster members")
+		e23files = flag.Int("e23-files", 0, "E23: linked files")
+		e23write = flag.Int("e23-writers", 0, "E23: concurrent writer sessions")
+		e23round = flag.Duration("e23-round", 0, "E23: soak duration (e.g. 2s)")
+		e23budg  = flag.Duration("e23-budget", 0, "E23: declared failover budget — max per-path unavailability after the kill")
+		e23probe = flag.Duration("e23-probe", 0, "E23: health-probe interval (e.g. 25ms)")
 	)
 	flag.Parse()
 
@@ -289,6 +304,24 @@ func main() {
 	}
 	if *e22comm > 0 {
 		harness.TraceCommits = *e22comm
+	}
+	if *e23srv > 0 {
+		harness.FailoverServers = *e23srv
+	}
+	if *e23files > 0 {
+		harness.FailoverFiles = *e23files
+	}
+	if *e23write > 0 {
+		harness.FailoverWriters = *e23write
+	}
+	if *e23round > 0 {
+		harness.FailoverRound = *e23round
+	}
+	if *e23budg > 0 {
+		harness.FailoverBudget = *e23budg
+	}
+	if *e23probe > 0 {
+		harness.FailoverProbe = *e23probe
 	}
 
 	if *list {

@@ -7,6 +7,7 @@
 //	dlctl -demo backup-restore
 //	dlctl -demo crash
 //	dlctl -demo ring
+//	dlctl -demo failover
 //	dlctl -demo trace
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"datalinks"
@@ -24,11 +26,15 @@ import (
 )
 
 func main() {
-	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash | ring | trace")
+	demo := flag.String("demo", "status", "scenario: status | backup-restore | crash | ring | failover | trace")
 	flag.Parse()
 
 	if *demo == "ring" {
 		ringDemo()
+		return
+	}
+	if *demo == "failover" {
+		failoverDemo()
 		return
 	}
 	if *demo == "trace" {
@@ -103,12 +109,15 @@ func main() {
 }
 
 // ringDemo inspects the scale-out namespace: where the consistent-hash ring
-// places each linked path, how many shards each member serves, and what the
-// migration counters record after the cluster grows by one member.
+// places each linked path, which successors replicate it, how many shards
+// each member serves, and what the migration and replication counters record
+// after the cluster grows by one member.
 func ringDemo() {
-	fmt.Println("== dlctl ring: placement, shard counts, migration status ==")
+	fmt.Println("== dlctl ring: placement, successor lists, migration status ==")
 	c, err := datalinks.OpenCluster(datalinks.ClusterConfig{
-		Members: []datalinks.ServerConfig{{Name: "fs1"}, {Name: "fs2"}},
+		Members:     []datalinks.ServerConfig{{Name: "fs1"}, {Name: "fs2"}},
+		Replicas:    2,
+		WriteQuorum: 2,
 	})
 	if err != nil {
 		fatal(err)
@@ -125,11 +134,9 @@ func ringDemo() {
 	}
 
 	fmt.Printf("\nauthority %q, members %v\n", c.Authority(), c.Members())
-	fmt.Println("\npath -> server placement:")
+	fmt.Println("\npath -> replica set (owner first, then ring successors):")
 	for _, p := range paths {
-		owner, err := c.Owner(p)
-		must(err)
-		fmt.Printf("  %-22s -> %s\n", p, owner)
+		fmt.Printf("  %-22s -> %v\n", p, c.ReplicaSet(p))
 	}
 
 	fmt.Println("\nper-server shard counts:")
@@ -146,13 +153,108 @@ func ringDemo() {
 	for _, nv := range reg.Snapshot() {
 		fmt.Printf("  %-18s %d\n", nv.Name+":", nv.Value)
 	}
+	printReplCounters(c)
 
-	fmt.Println("\nplacement after growth:")
+	fmt.Println("\nreplica sets after growth:")
 	for _, p := range paths {
-		owner, err := c.Owner(p)
-		must(err)
-		fmt.Printf("  %-22s -> %s\n", p, owner)
+		fmt.Printf("  %-22s -> %v\n", p, c.ReplicaSet(p))
 	}
+}
+
+// failoverDemo exercises replicated shards end to end: every path's committed
+// history lives on its owner and its ring successor, a member machine dies,
+// and Failover promotes the surviving replicas in place — no cold start, no
+// archive handoff, reads and writes continue on the survivors.
+func failoverDemo() {
+	fmt.Println("== dlctl failover: successor replication, promote in place ==")
+	c, err := datalinks.OpenCluster(datalinks.ClusterConfig{
+		Members:     []datalinks.ServerConfig{{Name: "fs1"}, {Name: "fs2"}, {Name: "fs3"}},
+		Replicas:    2,
+		WriteQuorum: 2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	c.MustExec(`CREATE TABLE docs (id INT PRIMARY KEY, doc DATALINK MODE RDD RECOVERY YES, doc_size INT)`)
+	const files = 8
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/docs/doc%02d.pdf", i)
+		must(c.SeedFile(paths[i], []byte(fmt.Sprintf("doc %d v1", i)), 100))
+		c.MustExec(fmt.Sprintf(`INSERT INTO docs (id, doc) VALUES (%d, DLVALUE('%s'))`, i, c.URL(paths[i])))
+	}
+	// Commit an update through each path so the replicas carry real history,
+	// shipped synchronously at the commit barrier (write quorum 2).
+	for i, p := range paths {
+		url, err := c.QueryString(fmt.Sprintf(`SELECT DLURLCOMPLETEWRITE(doc) FROM docs WHERE id = %d`, i))
+		must(err)
+		f, err := c.Session(100).OpenWrite(url)
+		must(err)
+		must(f.WriteAll([]byte(fmt.Sprintf("doc %d v2 REPLICATED", i))))
+		must(f.Close())
+		_ = p
+	}
+	c.WaitArchives()
+
+	fmt.Printf("\nmembers %v; replica sets (owner first, then successors):\n", c.Members())
+	for _, p := range paths {
+		fmt.Printf("  %-22s -> %v\n", p, c.ReplicaSet(p))
+	}
+
+	victim := mustOwner(c, paths[0])
+	fmt.Printf("\nmachine %s dies (FailServer); failing over its shards...\n", victim)
+	must(c.FailServer(victim))
+	rep, err := c.Failover(victim)
+	must(err)
+	fmt.Printf("failover promoted %d paths in %v: %v\n", len(rep.Promoted), rep.Elapsed.Round(time.Microsecond), rep.Promoted)
+
+	fmt.Println("\nreplica sets after failover (promoted successors now own):")
+	for _, p := range paths {
+		fmt.Printf("  %-22s -> %v\n", p, c.ReplicaSet(p))
+	}
+
+	fmt.Println("\nreading every path from the survivors:")
+	for i, p := range paths {
+		url, err := c.QueryString(fmt.Sprintf(`SELECT DLURLCOMPLETE(doc) FROM docs WHERE id = %d`, i))
+		must(err)
+		f, err := c.Session(100).OpenRead(url)
+		must(err)
+		data, err := f.ReadAll()
+		must(err)
+		must(f.Close())
+		fmt.Printf("  %-22s -> %q (owner %s)\n", p, data, mustOwner(c, p))
+	}
+
+	printReplCounters(c)
+}
+
+// printReplCounters renders every repl.* counter across the cluster's
+// registries: the router's (failovers, stale reads, probe deaths) and each
+// member DLFM's (ships, applies, promotions, quorum waits).
+func printReplCounters(c *datalinks.Cluster) {
+	fmt.Println("\nreplication counters:")
+	regs := c.Internal().Metrics()
+	names := make([]string, 0, len(regs))
+	for name := range regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, nv := range regs[name].Snapshot() {
+			if !strings.Contains(nv.Name, "repl.") {
+				continue
+			}
+			fmt.Printf("  %-10s %-26s %d\n", name, nv.Name, nv.Value)
+		}
+	}
+}
+
+func mustOwner(c *datalinks.Cluster, path string) string {
+	owner, err := c.Owner(path)
+	must(err)
+	return owner
 }
 
 // traceDemo follows one commit from the session API to the archive fsync: a

@@ -10,12 +10,19 @@ package archive
 // bytes cross between archive devices.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"datalinks/internal/catalog"
 	"datalinks/internal/extent"
 )
+
+// ErrChainGap reports a delta export or import whose base version does not
+// line up with the history on this store — the history was truncated,
+// restored, or never archived here. The caller falls back to a full resync
+// (Drop + ExportHistory/ImportHistory).
+var ErrChainGap = errors.New("archive: history chain gap")
 
 // HistoryMod is one changed slot of an exported delta manifest.
 type HistoryMod struct {
@@ -49,6 +56,32 @@ type ImportStats struct {
 	DedupedBytes  int64
 }
 
+// exportRec copies version index i of fv as a portable record. Caller holds
+// the entry shard lock.
+func exportRec(fv *fileVersions, i int) HistoryRec {
+	rec := fv.recs[i]
+	e := fv.entries[i]
+	hr := HistoryRec{
+		Version:        int64(e.Version),
+		StateID:        e.StateID,
+		Size:           e.Size,
+		StoredUnixNano: e.Stored.UnixNano(),
+		NChunks:        rec.nchunks,
+		TailLen:        rec.tailLen,
+		TailHash:       rec.tail,
+		IsFull:         rec.isFull,
+	}
+	if rec.isFull {
+		hr.Full = append([]extent.Hash(nil), rec.full...)
+	} else {
+		hr.Mods = make([]HistoryMod, len(rec.mods))
+		for j, m := range rec.mods {
+			hr.Mods[j] = HistoryMod{Idx: m.idx, Hash: m.hash}
+		}
+	}
+	return hr
+}
+
 // ExportHistory snapshots the version history of one file as portable
 // manifest records. The slices are fresh copies — the caller may hold them
 // across arbitrary later mutation of this store.
@@ -62,29 +95,44 @@ func (s *Store) ExportHistory(server, path string) []HistoryRec {
 		return nil
 	}
 	out := make([]HistoryRec, len(fv.recs))
-	for i, rec := range fv.recs {
-		e := fv.entries[i]
-		hr := HistoryRec{
-			Version:        int64(e.Version),
-			StateID:        e.StateID,
-			Size:           e.Size,
-			StoredUnixNano: e.Stored.UnixNano(),
-			NChunks:        rec.nchunks,
-			TailLen:        rec.tailLen,
-			TailHash:       rec.tail,
-			IsFull:         rec.isFull,
-		}
-		if rec.isFull {
-			hr.Full = append([]extent.Hash(nil), rec.full...)
-		} else {
-			hr.Mods = make([]HistoryMod, len(rec.mods))
-			for j, m := range rec.mods {
-				hr.Mods[j] = HistoryMod{Idx: m.idx, Hash: m.hash}
-			}
-		}
-		out[i] = hr
+	for i := range fv.recs {
+		out[i] = exportRec(fv, i)
 	}
 	return out
+}
+
+// ExportDelta snapshots the tail of a history: every version strictly after
+// base, ordered oldest-first. The first returned record chains off version
+// base, so a store whose last version is base appends the result with
+// ImportDelta — the O(changed chunks) transfer the replication stream uses
+// to catch a lagging replica up. An empty slice means the history ends at
+// base (nothing to ship). ErrChainGap reports that base is not present in
+// this history; the caller falls back to a full resync.
+func (s *Store) ExportDelta(server, path string, base int64) ([]HistoryRec, error) {
+	k := key(server, path)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fv := sh.entries[k]
+	if fv == nil || len(fv.entries) == 0 {
+		return nil, fmt.Errorf("%w: export of %s after version %d: no history", ErrChainGap, path, base)
+	}
+	idx := -1
+	for i := range fv.entries {
+		if int64(fv.entries[i].Version) == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: export of %s: version %d not in history (have %d..%d)",
+			ErrChainGap, path, base, fv.entries[0].Version, fv.entries[len(fv.entries)-1].Version)
+	}
+	out := make([]HistoryRec, 0, len(fv.recs)-idx-1)
+	for i := idx + 1; i < len(fv.recs); i++ {
+		out = append(out, exportRec(fv, i))
+	}
+	return out, nil
 }
 
 // FetchBlob returns the bytes of one content hash (paging in from the disk
@@ -119,38 +167,8 @@ func (s *Store) ImportHistory(server, path string, recs []HistoryRec, fetch func
 		}
 		return ImportStats{}, err
 	}
-	// ensure pins one reference on h and, the first time h is fresh to the
-	// refcount table, makes sure its bytes are on this store's device.
-	// logical is the slot's logical size, charged to the dedup counters when
-	// no transfer happens.
 	ensure := func(h extent.Hash, logical int64) error {
-		fresh := s.addRef(h)
-		pinned = append(pinned, h)
-		if !fresh {
-			st.DedupedChunks++
-			st.DedupedBytes += logical
-			return nil
-		}
-		if s.disk.Has(h) {
-			// Dead-but-unswept (or adopted-orphan) blob: revive in place.
-			s.disk.Claim(h)
-			st.DedupedChunks++
-			st.DedupedBytes += logical
-			return nil
-		}
-		c, err := fetch(h)
-		if err != nil {
-			return fmt.Errorf("archive: import fetch %s: %w", path, err)
-		}
-		n := int64(len(c.Data()))
-		_, err = s.disk.Put(h, c)
-		c.ReleaseChunk()
-		if err != nil {
-			return fmt.Errorf("archive: import store %s: %w", path, err)
-		}
-		st.MovedChunks++
-		st.MovedBytes += n
-		return nil
+		return s.ensureBlob(h, logical, path, fetch, &st, &pinned)
 	}
 
 	var full []extent.Hash
@@ -249,6 +267,195 @@ func (s *Store) ImportHistory(server, path string, recs []HistoryRec, fetch func
 	s.newBytes.Add(st.MovedBytes)
 	s.dedupedBytes.Add(st.DedupedBytes)
 	// Device transfer: only moved blobs travel.
+	s.sleep(int64(st.MovedChunks))
+	return st, nil
+}
+
+// ensureBlob pins one reference on h and, the first time h is fresh to the
+// refcount table, makes sure its bytes are on this store's device — reviving
+// a dead-but-unswept disk blob in place, or fetching from the source
+// otherwise. logical is the slot's logical size, charged to the dedup
+// counters when no transfer happens. Every pin is appended to *pinned so the
+// caller can unwind symmetrically.
+func (s *Store) ensureBlob(h extent.Hash, logical int64, path string, fetch func(extent.Hash) (*extent.Chunk, error), st *ImportStats, pinned *[]extent.Hash) error {
+	fresh := s.addRef(h)
+	*pinned = append(*pinned, h)
+	if !fresh {
+		st.DedupedChunks++
+		st.DedupedBytes += logical
+		return nil
+	}
+	if s.disk.Has(h) {
+		// Dead-but-unswept (or adopted-orphan) blob: revive in place.
+		s.disk.Claim(h)
+		st.DedupedChunks++
+		st.DedupedBytes += logical
+		return nil
+	}
+	c, err := fetch(h)
+	if err != nil {
+		return fmt.Errorf("archive: import fetch %s: %w", path, err)
+	}
+	n := int64(len(c.Data()))
+	_, err = s.disk.Put(h, c)
+	c.ReleaseChunk()
+	if err != nil {
+		return fmt.Errorf("archive: import store %s: %w", path, err)
+	}
+	st.MovedChunks++
+	st.MovedBytes += n
+	return nil
+}
+
+// ImportDelta appends exported tail records onto a history this store
+// already holds — the replica side of a ship frame or a catch-up transfer.
+// Records at or below the local last version are skipped, so a re-shipped
+// frame whose ack was lost lands as a no-op; the first genuinely new record
+// must be the direct successor of the local last version, anything else is
+// ErrChainGap and the caller resyncs from scratch. Blob movement and
+// deduplication follow ImportHistory: fetch runs only for hashes this store
+// does not hold. Versions become visible one at a time, each logged to the
+// durable catalog before it is served, with the same blobs-before-manifests
+// durability barrier as PutSnapshot at the end.
+func (s *Store) ImportDelta(server, path string, recs []HistoryRec, fetch func(extent.Hash) (*extent.Chunk, error)) (ImportStats, error) {
+	var st ImportStats
+	k := key(server, path)
+	sh := s.shardFor(k)
+
+	sh.mu.Lock()
+	fv := sh.entries[k]
+	if fv == nil || len(fv.entries) == 0 {
+		sh.mu.Unlock()
+		return st, fmt.Errorf("%w: delta into %s: no base history", ErrChainGap, path)
+	}
+	last := int64(fv.entries[len(fv.entries)-1].Version)
+	gen := fv.gen
+	full := append([]extent.Hash(nil), fv.last...)
+	sh.mu.Unlock()
+
+	for len(recs) > 0 && recs[0].Version <= last {
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		return st, nil
+	}
+	if recs[0].Version != last+1 {
+		return st, fmt.Errorf("%w: delta into %s: have version %d, tail starts at %d",
+			ErrChainGap, path, last, recs[0].Version)
+	}
+
+	// Build the tail aside, pinning blob references per record so a partial
+	// failure can release exactly the uncommitted records' pins.
+	var pinned []extent.Hash
+	fail := func(err error) (ImportStats, error) {
+		for _, h := range pinned {
+			s.releaseRef(h)
+		}
+		return ImportStats{}, err
+	}
+	newRecs := make([]*verRec, len(recs))
+	fulls := make([][]extent.Hash, len(recs))
+	pinStart := make([]int, len(recs)+1)
+	for i, hr := range recs {
+		if hr.Version != last+1+int64(i) {
+			return fail(fmt.Errorf("%w: delta into %s: tail not contiguous at version %d", ErrChainGap, path, hr.Version))
+		}
+		pinStart[i] = len(pinned)
+		rec := &verRec{
+			isFull:  hr.IsFull,
+			nchunks: hr.NChunks,
+			tail:    hr.TailHash,
+			tailLen: hr.TailLen,
+		}
+		if hr.IsFull {
+			rec.full = append([]extent.Hash(nil), hr.Full...)
+		} else {
+			rec.mods = make([]chunkMod, len(hr.Mods))
+			for j, m := range hr.Mods {
+				rec.mods[j] = chunkMod{idx: m.Idx, hash: m.Hash}
+			}
+		}
+		full = applyRec(full, rec)
+		for _, h := range full {
+			if err := s.ensureBlob(h, extent.ChunkSize, path, fetch, &st, &pinned); err != nil {
+				return fail(err)
+			}
+		}
+		if rec.tailLen > 0 {
+			if err := s.ensureBlob(rec.tail, int64(rec.tailLen), path, fetch, &st, &pinned); err != nil {
+				return fail(err)
+			}
+		}
+		newRecs[i] = rec
+		fulls[i] = append([]extent.Hash(nil), full...)
+	}
+	pinStart[len(recs)] = len(pinned)
+
+	sh.mu.Lock()
+	cur := sh.entries[k]
+	if cur != fv || cur.gen != gen || int64(cur.entries[len(cur.entries)-1].Version) != last {
+		sh.mu.Unlock()
+		return fail(fmt.Errorf("%w: delta into %s: history changed during import", ErrStale, path))
+	}
+	for i, hr := range recs {
+		rec := newRecs[i]
+		if s.cat != nil {
+			pr := &catalog.PutRec{
+				Key:            k,
+				Version:        hr.Version,
+				StateID:        hr.StateID,
+				Size:           hr.Size,
+				StoredUnixNano: hr.StoredUnixNano,
+				NChunks:        rec.nchunks,
+				TailLen:        rec.tailLen,
+				TailHash:       rec.tail,
+				IsFull:         rec.isFull,
+				Full:           rec.full,
+				Mods:           modsForCatalog(rec.mods),
+			}
+			if err := s.cat.AppendPut(pr); err != nil {
+				// Records [0,i) are logged and visible — keep them. Release
+				// only the pins belonging to the records that did not land.
+				sh.mu.Unlock()
+				for _, h := range pinned[pinStart[i]:] {
+					s.releaseRef(h)
+				}
+				st.Versions = i
+				return st, fmt.Errorf("archive: delta catalog %s: %w", path, err)
+			}
+		}
+		fv.recs = append(fv.recs, rec)
+		fv.entries = append(fv.entries, Entry{
+			Server:  server,
+			Path:    path,
+			Version: Version(hr.Version),
+			StateID: hr.StateID,
+			Size:    hr.Size,
+			Stored:  time.Unix(0, hr.StoredUnixNano),
+			st:      s,
+			key:     k,
+			idx:     len(fv.entries),
+			gen:     fv.gen,
+		})
+		fv.last = fulls[i]
+		st.Versions++
+	}
+	sh.mu.Unlock()
+	if s.cat != nil {
+		_ = s.cat.CompactIfDue()
+	}
+	// Same commit durability barrier as PutSnapshot: blobs before manifests.
+	if err := s.disk.Sync(); err != nil {
+		return st, err
+	}
+	if s.cat != nil {
+		if err := s.cat.Sync(); err != nil {
+			return st, fmt.Errorf("archive: delta catalog %s: %w", path, err)
+		}
+	}
+	s.logicalBytes.Add(sumSizes(recs))
+	s.newBytes.Add(st.MovedBytes)
+	s.dedupedBytes.Add(st.DedupedBytes)
 	s.sleep(int64(st.MovedChunks))
 	return st, nil
 }

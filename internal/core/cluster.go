@@ -27,8 +27,10 @@ import (
 	"datalinks/internal/fs"
 	"datalinks/internal/metrics"
 	"datalinks/internal/obs"
+	"datalinks/internal/retry"
 	"datalinks/internal/ring"
 	"datalinks/internal/sqlmini"
+	"datalinks/internal/upcall"
 )
 
 var clusterRoot = fs.Cred{UID: fs.Root}
@@ -47,6 +49,35 @@ type ClusterConfig struct {
 	TokenKey     []byte
 	TokenTTL     time.Duration
 	LockTimeout  time.Duration
+
+	// Replicas is the total number of copies of every path's archive history
+	// and link row, owner included: the owner plus its Replicas-1 distinct
+	// ring successors. 0 or 1 keeps single-copy behavior (no replication).
+	Replicas int
+	// WriteQuorum is the number of copies (owner included) that must
+	// acknowledge a commit before the application's close returns. 0 means
+	// all Replicas; values are clamped to [1, Replicas]. A commit that lands
+	// fewer acks returns dlfm.ErrReplicationQuorum to the writer but is NOT
+	// rolled back — the owner's copy is durable and anti-entropy
+	// (FlushReplication) repairs the gap.
+	WriteQuorum int
+	// ReplicaReads lets ReadFileContent fall back to a surviving replica
+	// when the owner is unreachable. Staleness is bounded: a replica can be
+	// behind by at most the commits the owner had not quorum-acked. Off by
+	// default — reads fail until Failover promotes.
+	ReplicaReads bool
+	// ReplRetry shapes per-replica ship retry (zero value = retry defaults).
+	ReplRetry retry.Policy
+	// ReplChaos, when set, injects transport faults into the replication
+	// stream: every ship frame consults Chaos.Strike (drops, resets, delays,
+	// partitions), the same fault model the upcall wire runs under.
+	ReplChaos *upcall.Chaos
+	// ProbeInterval enables the health probe: every interval each member is
+	// checked, and one found dead gets FailServer bookkeeping (plus, with
+	// AutoFailover, a Failover). 0 disables probing.
+	ProbeInterval time.Duration
+	// AutoFailover makes the health probe run Failover on a dead member.
+	AutoFailover bool
 }
 
 // Cluster is a running scale-out deployment: one host database and engine,
@@ -61,8 +92,17 @@ type Cluster struct {
 	ttl       time.Duration
 	router    *Router
 
+	repl replConfig
+
 	mu      sync.Mutex
-	deadCfg map[string]ServerConfig // failed members awaiting AbsorbDead
+	deadCfg map[string]ServerConfig // failed members awaiting AbsorbDead or Failover
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
+	// migrateHook, when set (tests only), runs before each path migration and
+	// can fail it — the crash-mid-absorb injection point.
+	migrateHook func(path, src, dst string) error
 }
 
 // NewCluster builds and wires a scale-out deployment.
@@ -90,6 +130,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		ids = append(ids, sc.Name)
 	}
+	repl := replConfig{
+		n:      cfg.Replicas,
+		quorum: cfg.WriteQuorum,
+		policy: cfg.ReplRetry,
+		chaos:  cfg.ReplChaos,
+		auto:   cfg.AutoFailover,
+		probe:  cfg.ProbeInterval,
+	}
+	if repl.n < 1 {
+		repl.n = 1
+	}
+	if repl.n > len(ids) {
+		repl.n = len(ids)
+	}
+	if repl.quorum <= 0 || repl.quorum > repl.n {
+		repl.quorum = repl.n
+	}
 	c := &Cluster{
 		DB:        db,
 		Engine:    eng,
@@ -98,20 +155,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		key:       cfg.TokenKey,
 		ttl:       cfg.TokenTTL,
 		router:    newRouter(cfg.Authority, ring.New(cfg.VirtualNodes, ids...)),
+		repl:      repl,
 		deadCfg:   make(map[string]ServerConfig),
 	}
+	c.router.replicas = repl.n
+	c.router.replicaReads = cfg.ReplicaReads
 	for _, sc := range cfg.Members {
 		fsrv, err := buildStack(sc, cfg.Authority, cfg.Clock, cfg.TokenKey, cfg.TokenTTL, eng)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
+		c.attachReplicator(fsrv)
 		c.router.addMember(fsrv)
 	}
 	// One engine connection for the whole authority: the router resolves
 	// which member processes each link.
 	eng.AttachConn(cfg.Authority, c.router, cfg.TokenKey, cfg.TokenTTL)
+	if repl.probe > 0 {
+		c.probeStop = make(chan struct{})
+		c.probeWG.Add(1)
+		go c.probeLoop()
+	}
 	return c, nil
+}
+
+// attachReplicator installs the cluster's ship hook on one member's commit
+// path (a no-op deployment-wide when Replicas <= 1).
+func (c *Cluster) attachReplicator(fsrv *FileServer) {
+	if c.repl.n > 1 {
+		fsrv.DLFM.SetReplicator(&shardReplicator{c: c, owner: fsrv.Name})
+	}
 }
 
 // Authority returns the cluster's shared file-server name.
@@ -177,11 +251,67 @@ func (c *Cluster) WaitArchives() {
 
 // Close shuts down every member stack.
 func (c *Cluster) Close() {
+	if c.probeStop != nil {
+		close(c.probeStop)
+		c.probeWG.Wait()
+		c.probeStop = nil
+	}
 	for _, id := range c.router.memberIDs() {
 		if m, err := c.router.member(id); err == nil {
 			closeStack(m)
 		}
 	}
+}
+
+// probeLoop is the health probe: it sweeps the member set every interval and
+// converts a silently dead member (KillServer, or a crashed stack) into the
+// same bookkeeping FailServer does — and, with AutoFailover, straight into a
+// Failover, so orphaned paths come back without an operator in the loop.
+func (c *Cluster) probeLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.repl.probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+		}
+		for _, id := range c.router.memberIDs() {
+			m, err := c.router.member(id)
+			if err != nil || m.DLFM.Alive() {
+				continue
+			}
+			// Dead but still routable: record the death.
+			c.router.dropMember(id)
+			c.mu.Lock()
+			c.deadCfg[id] = m.cfg
+			c.mu.Unlock()
+			c.router.reg.Counter("repl.probe_deaths").Inc()
+			if c.repl.auto && c.repl.n > 1 {
+				_, _ = c.Failover(id) // best effort; a retry rides the next tick
+			}
+		}
+	}
+}
+
+// KillServer kills a member's processes without telling the cluster — the
+// silent machine death FailServer's explicit bookkeeping papers over. Only
+// the health probe (or a later FailServer call) notices.
+func (c *Cluster) KillServer(id string) error {
+	m, err := c.router.member(id)
+	if err != nil {
+		return err
+	}
+	m.DLFM.Kill()
+	m.Archive.Crash()
+	if m.tcpClient != nil {
+		m.tcpClient.Close()
+	}
+	if m.tcpServer != nil {
+		m.tcpServer.Close()
+	}
+	return nil
 }
 
 func closeStack(m *FileServer) {
@@ -250,15 +380,40 @@ func (c *Cluster) AddServer(sc ServerConfig) error {
 	if err != nil {
 		return err
 	}
+	c.attachReplicator(fsrv)
 	target := c.router.currentRing().With(sc.Name)
 	c.router.beginRebalance(target, fsrv)
 	if err := c.rebalanceTo(target); err != nil {
 		c.router.abortRebalance()
+		// The joining member keeps any paths that already migrated onto it
+		// (their overrides route there), so its stack must stay up — but if
+		// nothing moved, beginRebalance's registration is rolled back too.
+		if !c.hasOverrideTo(sc.Name) {
+			c.router.dropMember(sc.Name)
+			closeStack(fsrv)
+		}
 		return err
 	}
 	c.router.finishRebalance(target)
+	if c.repl.n > 1 {
+		if err := c.FlushReplication(); err != nil {
+			return err
+		}
+	}
 	c.Placements()
 	return nil
+}
+
+// hasOverrideTo reports whether any path currently overrides to member id.
+func (c *Cluster) hasOverrideTo(id string) bool {
+	c.router.mu.Lock()
+	defer c.router.mu.Unlock()
+	for _, m := range c.router.overrides {
+		if m == id {
+			return true
+		}
+	}
+	return false
 }
 
 // RemoveServer drains a member gracefully: every path it owns migrates to the
@@ -282,6 +437,11 @@ func (c *Cluster) RemoveServer(id string) error {
 	c.router.finishRebalance(target)
 	c.router.dropMember(id)
 	closeStack(m)
+	if c.repl.n > 1 {
+		if err := c.FlushReplication(); err != nil {
+			return err
+		}
+	}
 	c.Placements()
 	return nil
 }
@@ -344,7 +504,14 @@ func (c *Cluster) AbsorbDead(id string) error {
 	// against the recovered stack while they migrate out one by one.
 	c.router.beginRebalance(target, fsrv)
 	if err := c.rebalanceTo(target); err != nil {
+		// A partial absorb must leave the cluster where a second AbsorbDead
+		// can finish the job: paths that migrated keep their overrides (they
+		// live on survivors now), the recovered stack closes — its durable
+		// dirs hold everything that did not move — and, crucially, it leaves
+		// the member table. Without the dropMember here the closed stack
+		// stayed routable and the retry found the member "already present".
 		c.router.abortRebalance()
+		c.router.dropMember(id)
 		closeStack(fsrv)
 		return err
 	}
@@ -392,6 +559,11 @@ func (c *Cluster) rebalanceTo(target *ring.Ring) error {
 // hash), import the repository bundle, point the router at the destination,
 // evict the source. On any failure the source remains the owner.
 func (c *Cluster) migratePath(src, dst *FileServer, path string) error {
+	if c.migrateHook != nil {
+		if err := c.migrateHook(path, src.Name, dst.Name); err != nil {
+			return err
+		}
+	}
 	tr := src.Obs.Start("migrate")
 	root := tr.Root()
 	root.SetAttr("path", path)

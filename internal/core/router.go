@@ -35,6 +35,10 @@ type Router struct {
 	members   map[string]*FileServer
 	overrides map[string]string        // path -> member id, until the next ring swap
 	moving    map[string]chan struct{} // per-path migration gates
+
+	// Replication routing (set once by the cluster before traffic).
+	replicas     int  // total copies per path; <=1 disables replica routing
+	replicaReads bool // serve reads from a replica when the owner is down
 }
 
 func newRouter(authority string, r *ring.Ring) *Router {
@@ -60,6 +64,43 @@ func (r *Router) Ring() *ring.Ring {
 }
 
 func (r *Router) currentRing() *ring.Ring { return r.Ring() }
+
+// successorsFor returns the first n distinct members on the current ring at
+// or after path's hash — index 0 is the owner, the rest are its replica
+// successors in promotion order.
+func (r *Router) successorsFor(path string, n int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.SuccessorsFor(path, n)
+}
+
+// placementID resolves path's assigned member — override else ring — without
+// waiting out gates or requiring the member to be live. Failover uses it to
+// ask "whose path was this?" about a member that is already down.
+func (r *Router) placementID(path string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.overrides[path]; ok {
+		return id
+	}
+	return r.ring.Lookup(path)
+}
+
+// adoptRing swaps the ring after a failover. Unlike finishRebalance it keeps
+// the overrides the new ring does NOT imply (pass-2 promotions landed paths
+// off their ring-designated successor) and drops only the ones it does, so
+// the override table stays minimal without ever breaking routing.
+func (r *Router) adoptRing(target *ring.Ring) {
+	r.mu.Lock()
+	for p, id := range r.overrides {
+		if target.Lookup(p) == id {
+			delete(r.overrides, p)
+		}
+	}
+	r.ring = target
+	r.pending = nil
+	r.mu.Unlock()
+}
 
 func (r *Router) addMember(m *FileServer) {
 	r.mu.Lock()
@@ -240,13 +281,38 @@ func (r *Router) Unlink(hostTxn uint64, path string) (sqlmini.XRM, error) {
 	return m.DLFM, nil
 }
 
-// ReadFileContent reads a linked file's content from its owner.
+// ReadFileContent reads a linked file's content from its owner; with replica
+// reads enabled, an unreachable owner falls back to the newest surviving
+// replica (staleness bounded by repl.lag_versions — at most the commits the
+// owner had not yet quorum-acked).
 func (r *Router) ReadFileContent(path string) ([]byte, error) {
 	m, err := r.owner(path)
 	if err != nil {
+		if r.replicaReads && r.replicas > 1 {
+			if data, rerr := r.readFromReplica(path); rerr == nil {
+				return data, nil
+			}
+		}
 		return nil, err
 	}
 	return m.DLFM.ReadFileContent(path)
+}
+
+// readFromReplica serves path from the first successor holding a replica.
+func (r *Router) readFromReplica(path string) ([]byte, error) {
+	for _, id := range r.successorsFor(path, r.replicas+1) {
+		m, err := r.member(id)
+		if err != nil {
+			continue
+		}
+		data, err := m.DLFM.ReadReplica(path)
+		if err != nil {
+			continue
+		}
+		r.reg.Counter("repl.stale_reads").Inc()
+		return data, nil
+	}
+	return nil, fmt.Errorf("core: no live replica of %s", path)
 }
 
 // RestoreAsOf rewinds every member's files to the state id (§4.4 coordinated

@@ -31,7 +31,23 @@ func (s *Server) Upcall(req upcall.Request) (upcall.Response, error) {
 // UpcallCtx is Upcall under a request context. When the context carries a
 // trace span, the daemon's work gets a "dlfm" child span; the blocking and
 // commit phases underneath annotate it further (lock, 2pc, archive).
-func (s *Server) UpcallCtx(ctx context.Context, req upcall.Request) (upcall.Response, error) {
+//
+// A killed server answers like a dead machine: every upcall fails with an
+// error (the transport-loss class), never a panic in the caller's process.
+// Kill closes the repository WAL out from under in-flight requests, so the
+// recover converts the resulting panics for requests that raced the death.
+func (s *Server) UpcallCtx(ctx context.Context, req upcall.Request) (resp upcall.Response, err error) {
+	if !s.Alive() {
+		return upcall.Response{}, fmt.Errorf("dlfm: server %s is down", s.cfg.Name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if s.Alive() {
+				panic(r) // a real bug, not a raced death
+			}
+			resp, err = upcall.Response{}, fmt.Errorf("dlfm: server %s died mid-request: %v", s.cfg.Name, r)
+		}
+	}()
 	if sp := obs.SpanFrom(ctx); sp != nil {
 		c := sp.Child("dlfm")
 		c.SetAttr("op", req.Op.String())

@@ -227,6 +227,10 @@ type Server struct {
 	qseq     atomic.Uint64
 	gcStop   chan struct{}
 
+	// repl holds the owner-side shard replicator (SetReplicator); nil box or
+	// nil interface means replication is off and ships are no-ops.
+	repl atomic.Pointer[replicatorBox]
+
 	// upcallCtrs caches the per-op dispatch counters (indexed by upcall.Op)
 	// so the upcall hot path skips the registry lookup and name formatting.
 	upcallCtrs [upcallOpRange]*metrics.Counter
@@ -370,6 +374,19 @@ var repoSchema = []struct {
 	{"dlfm_updates", `CREATE TABLE dlfm_updates (path VARCHAR PRIMARY KEY, open_id INT NOT NULL)`},
 	// Committed versions whose archive copy has not completed yet.
 	{"dlfm_pending_archive", `CREATE TABLE dlfm_pending_archive (path VARCHAR PRIMARY KEY, version INT NOT NULL, state_id INT NOT NULL)`},
+	// Replicated shards held for other ring members: promotion identity plus
+	// the last acked version. Deliberately NOT dlfm_files — the linked-file
+	// namespace, rebalance, and recovery scans must never see replicas.
+	{"dlfm_replicas", `CREATE TABLE dlfm_replicas (
+		path VARCHAR PRIMARY KEY,
+		mode VARCHAR NOT NULL,
+		recovery BOOLEAN NOT NULL,
+		token_ttl INT,
+		orig_uid INT NOT NULL,
+		orig_mode INT NOT NULL,
+		cur_version INT NOT NULL,
+		mtime_ns INT NOT NULL
+	)`},
 	// Sub-transaction journal for 2PC recovery: one row per file-system
 	// side effect of a link/unlink sub-transaction.
 	{"dlfm_txns", `CREATE TABLE dlfm_txns (
@@ -517,6 +534,14 @@ func (s *Server) Kill() {
 	}
 	s.mu.Unlock()
 	s.repo.Log().Kill()
+}
+
+// Alive reports whether the server is still serving (not closed, not
+// killed). The cluster's health probe polls this to detect silent deaths.
+func (s *Server) Alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // fileInfo is the decoded dlfm_files row.

@@ -1,6 +1,7 @@
 package dlfm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -123,10 +124,19 @@ func (s *Server) linkFile(hostTxn uint64, path string, opts datalink.ColumnOptio
 			// rolled back (§4.2) and point-in-time restore has a floor. The
 			// manifest snapshot keeps link cost O(#chunks).
 			if opts.Mode.UpdateManaged() || opts.Recovery {
-				if len(s.cfg.Archive.Versions(s.cfg.Name, path)) > 0 {
-					return nil // already archived (re-link after restore)
+				stateID := s.cfg.Host.StateID()
+				shipVer := int64(0)
+				if vs := s.cfg.Archive.Versions(s.cfg.Name, path); len(vs) > 0 {
+					// Already archived (re-link after restore): the current
+					// content is the last archived version, not version 0.
+					shipVer = int64(vs[len(vs)-1].Version)
+				} else if err := s.archiveCurrent(path, 0, stateID); err != nil {
+					return err
 				}
-				return s.archiveCurrent(path, 0, s.cfg.Host.StateID())
+				// Replicate the link in the same stream as commits: the
+				// successors get the history floor and the promotion
+				// identity, so a failover right after link loses nothing.
+				return s.shipCurrent(context.Background(), path, shipVer, stateID)
 			}
 			return nil
 		},
@@ -249,6 +259,11 @@ func (s *Server) unlinkFile(hostTxn uint64, path string) error {
 				return err
 			}
 			s.purgeTokens(path)
+			// Unlink rides the replication stream too: replicas drop their
+			// history and row so a later failover cannot resurrect the path.
+			if r := s.replicator(); r != nil {
+				return r.ShipUnlink(path)
+			}
 			return nil
 		},
 	})

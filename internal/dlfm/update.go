@@ -160,6 +160,16 @@ func (s *Server) closeFile(ctx context.Context, req upcall.Request) upcall.Respo
 		return upcall.Response{OK: true}
 	}
 	if err := s.commitUpdate(ctx, st, req.Size, time.Unix(0, req.Mtime)); err != nil {
+		if errors.Is(err, ErrReplicationQuorum) {
+			// The commit point passed — host metadata and repository row both
+			// carry the new version — but not enough replicas acked it. The
+			// close still fails (the application must not treat the write as
+			// replicated), yet the content must NOT roll back: restoring the
+			// old bytes would diverge from the committed host state. The
+			// at-least-once retry discipline already makes "file newer than
+			// the last ack" a legal state for the writer to observe.
+			return reject(upcall.CodeInternal, "file-update committed but under-replicated: "+err.Error())
+		}
 		// The close fails and the update rolls back — the application sees
 		// the error from close(2), matching "processing of file close
 		// request fails [⇒] the update operation is rolled back".
@@ -270,11 +280,35 @@ func (s *Server) commitUpdate(ctx context.Context, st *openState, size int64, mt
 	}
 	s.startArchive(ctx, st.path, archive.Version(newVer), stateID)
 
+	// Ship the committed version to the path's ring successors before the
+	// close returns — the synchronous half of the replication stream. The
+	// content is stable until dropOpen releases the writer, so the snapshot
+	// here is exactly the committed state. A quorum failure surfaces as
+	// ErrReplicationQuorum after local bookkeeping completes; closeFile
+	// rejects the close without rolling back.
+	var shipErr error
+	if r := s.replicator(); r != nil {
+		shipErr = func() error {
+			meta := ReplicaMeta{Mode: fi.mode, Recovery: fi.recovery, TokenTTL: fi.tokenTTL,
+				OrigUID: fi.origUID, OrigMode: fi.origMode}
+			snap, err := s.cfg.Phys.SnapshotFile(st.path)
+			if err != nil {
+				return err
+			}
+			defer snap.Release()
+			return r.ShipCommit(ctx, st.path, newVer, stateID, snap, size, attr.Mtime, meta)
+		}()
+	}
+
 	if err := s.releaseTakeover(st.path, fi); err != nil {
 		return err
 	}
 	s.dropOpen(st.id)
 	s.cfg.Metrics.Counter("dlfm.versions.committed").Inc()
+	if shipErr != nil {
+		s.cfg.Metrics.Counter("dlfm.repl.quorum_failures").Inc()
+		return fmt.Errorf("%w: %v", ErrReplicationQuorum, shipErr)
+	}
 	return nil
 }
 

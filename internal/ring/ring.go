@@ -132,6 +132,34 @@ func (r *Ring) Lookup(key string) string {
 	return r.points[i].member
 }
 
+// SuccessorsFor returns the first n distinct members at or clockwise after
+// hash(key): the key's owner first (identical to Lookup), then the members
+// whose arcs follow it. The list is the key's replica set under successor
+// replication, and its ordering is what makes failover free of data movement:
+// Without(owner) reassigns the key to exactly SuccessorsFor(key, n)[1],
+// because removing owner's points leaves the old second successor as the
+// first point clockwise of the key. Fewer than n members yields them all.
+func (r *Ring) SuccessorsFor(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := fnv64a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
 // Members returns the sorted member list. The caller must not mutate it.
 func (r *Ring) Members() []string {
 	if r == nil {

@@ -1,0 +1,161 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSuccessorsDistinct property-tests the core contract: SuccessorsFor
+// returns n DISTINCT members (clamped to the member count), so a replica set
+// never places two copies on the same machine.
+func TestSuccessorsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("fs%d", i+1)
+		}
+		r := New(0, members...)
+		for _, want := range []int{1, 2, 3, n, n + 3} {
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("/d%d/f%d.bin", rng.Intn(40), rng.Intn(100000))
+				succ := r.SuccessorsFor(key, want)
+				expect := want
+				if expect > n {
+					expect = n
+				}
+				if len(succ) != expect {
+					t.Fatalf("n=%d SuccessorsFor(%q, %d) returned %d members: %v",
+						n, key, want, len(succ), succ)
+				}
+				seen := make(map[string]bool)
+				for _, id := range succ {
+					if seen[id] {
+						t.Fatalf("duplicate member %q in successor list %v for %q", id, succ, key)
+					}
+					seen[id] = true
+				}
+			}
+		}
+	}
+}
+
+// TestSuccessorsFirstIsOwner: the first successor is always the Lookup owner
+// — the successor list is the ownership chain, not a separate placement.
+func TestSuccessorsFirstIsOwner(t *testing.T) {
+	r := New(0, "fs1", "fs2", "fs3", "fs4", "fs5")
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("/x%d/y%d", rng.Intn(30), rng.Intn(100000))
+		succ := r.SuccessorsFor(key, 3)
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("SuccessorsFor(%q)[0] = %q, Lookup = %q", key, succ[0], r.Lookup(key))
+		}
+	}
+}
+
+// TestSuccessorIsFailoverOwner pins the property failover is built on: when
+// the owner leaves the ring, every key it owned is reassigned to exactly its
+// second successor on the old ring. Promoting replicas there means failover
+// moves zero bytes.
+func TestSuccessorIsFailoverOwner(t *testing.T) {
+	r := New(0, "fs1", "fs2", "fs3", "fs4", "fs5")
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("/p%d/q%d.dat", rng.Intn(25), rng.Intn(100000))
+		succ := r.SuccessorsFor(key, 2)
+		owner := succ[0]
+		after := r.Without(owner)
+		if got := after.Lookup(key); got != succ[1] {
+			t.Fatalf("key %q: owner %q removed → %q, want second successor %q (list %v)",
+				key, owner, got, succ[1], succ)
+		}
+	}
+}
+
+// TestSuccessorsStableUnderMembership: adding or removing an UNRELATED member
+// must not reorder the surviving portion of a key's successor chain — the
+// same minimal-movement contract Lookup honors, extended to replica sets.
+func TestSuccessorsStableUnderMembership(t *testing.T) {
+	r := New(0, "fs1", "fs2", "fs3", "fs4", "fs5", "fs6")
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("/s%d/t%d", rng.Intn(20), rng.Intn(100000))
+		before := r.SuccessorsFor(key, 3)
+		// Remove a member not in the chain: the chain must be unchanged.
+		inChain := map[string]bool{}
+		for _, id := range before {
+			inChain[id] = true
+		}
+		for _, id := range r.Members() {
+			if inChain[id] {
+				continue
+			}
+			after := r.Without(id).SuccessorsFor(key, 3)
+			for j := range before {
+				if after[j] != before[j] {
+					t.Fatalf("key %q: removing unrelated %q changed chain %v → %v",
+						key, id, before, after)
+				}
+			}
+			break
+		}
+		// Remove a chain member: survivors keep their relative order.
+		victim := before[rng.Intn(len(before))]
+		after := r.Without(victim).SuccessorsFor(key, 3)
+		want := make([]string, 0, len(before))
+		for _, id := range before {
+			if id != victim {
+				want = append(want, id)
+			}
+		}
+		for j := range want {
+			if after[j] != want[j] {
+				t.Fatalf("key %q: removing chain member %q reordered survivors: %v → %v (want prefix %v)",
+					key, victim, before, after, want)
+			}
+		}
+	}
+}
+
+// TestSuccessorsGolden pins successor placements to golden values — the
+// replica sets of every deployed cluster depend on these staying fixed
+// across builds.
+func TestSuccessorsGolden(t *testing.T) {
+	r := New(128, "fs1", "fs2", "fs3", "fs4")
+	golden := map[string][]string{
+		"/docs/report.pdf": {"fs3", "fs2", "fs4"},
+		"/c/f0.bin":        {"fs2", "fs4", "fs3"},
+		"/c/f1.bin":        {"fs2", "fs3", "fs4"},
+		"/video/a/b/c.mp4": {"fs2", "fs4", "fs1"},
+	}
+	for key, want := range golden {
+		got := r.SuccessorsFor(key, 3)
+		if len(got) != len(want) {
+			t.Fatalf("SuccessorsFor(%q) = %v, want %v", key, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("SuccessorsFor(%q) = %v, want golden %v", key, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestSuccessorsEdgeCases covers nil rings, zero/negative counts, and the
+// single-member ring.
+func TestSuccessorsEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.SuccessorsFor("/a", 2); got != nil {
+		t.Errorf("nil ring: got %v, want nil", got)
+	}
+	r := New(0, "solo")
+	if got := r.SuccessorsFor("/a", 0); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+	if got := r.SuccessorsFor("/a", 3); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("single member: got %v, want [solo]", got)
+	}
+}

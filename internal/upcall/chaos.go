@@ -107,6 +107,36 @@ func (c *Chaos) roll() (delay time.Duration, drop, reset bool) {
 	return delay, drop, reset
 }
 
+// Strike rolls one replication-stream frame's fate: nil means the frame goes
+// through; an ErrConnLost-wrapped error means it was dropped, reset, or hit
+// a partition (the caller's retry discipline classifies it transient exactly
+// like an upcall transport fault). Injected delays sleep here, modelling a
+// slow replica link. This is the hook that extends Chaos beyond the upcall
+// wire to any message stream — the shard replicator consults it per ship
+// frame.
+func (c *Chaos) Strike() error {
+	if !c.active() {
+		return nil
+	}
+	if c.partitioned.Load() {
+		c.partHits.Add(1)
+		return connLost(errChaosPartitioned)
+	}
+	delay, drop, reset := c.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.resets.Add(1)
+		return connLost(errChaosReset)
+	}
+	if drop {
+		c.drops.Add(1)
+		return connLost(errChaosDropped)
+	}
+	return nil
+}
+
 // WrapService wraps an in-process Service with fault injection. Faults are
 // injected before the call reaches the service, modelling a request lost
 // or delayed on its way to the daemon.
